@@ -1,0 +1,80 @@
+// E-T9 / E-C11 — the consensus-number experiments (Section 4 of the paper):
+// exhaustive analysis of retry-consensus over abstract fo-consensus, for
+// 2..4 processes under both abort semantics, printing the claim matrix that
+// EXPERIMENTS.md records, plus a concrete livelock witness (the adversary
+// schedule of Theorem 9's flavour).
+#include <cstdio>
+
+#include "sim/valency.hpp"
+
+int main() {
+  using namespace oftm::sim::valency;
+
+  std::puts("== E-T9 / E-C11: consensus number of fo-consensus ============");
+  std::puts("protocol: announce/propose/write-D retry loop over one");
+  std::puts("fo-consensus object F and one register D (the structure of");
+  std::puts("Algorithm 1 consumers). Exhaustive state-space analysis.\n");
+
+  std::printf("%-6s %-22s %9s %10s %10s %10s %12s\n", "procs", "abort semantics",
+              "states", "livelock", "decides", "bivalent", "Claim10-ext");
+
+  bool t9_ok = false;
+  bool c11_ok = false;
+  std::vector<std::string> witness;
+
+  for (auto protocol : {Protocol::kRetryOwn, Protocol::kAdoptMin}) {
+    std::printf("-- protocol: %s\n",
+                protocol == Protocol::kRetryOwn ? "retry-own-value"
+                                                : "announce+adopt-min");
+    for (int n : {2, 3, 4}) {
+      for (auto sem : {AbortSemantics::kUnrestrictedOverlap,
+                       AbortSemantics::kFailOnly}) {
+        AnalysisOptions options;
+        options.nprocs = n;
+        options.semantics = sem;
+        options.protocol = protocol;
+        const Analysis a = analyze_retry_protocol(options);
+        std::printf("%-6d %-22s %9llu %10s %10s %10llu %12s\n", n,
+                    to_string(sem).c_str(),
+                    static_cast<unsigned long long>(a.states),
+                    a.livelock_cycle_found ? "FOUND" : "none",
+                    a.always_decides ? "always" : "NO",
+                    static_cast<unsigned long long>(a.bivalent_states),
+                    a.bivalence_always_extendable ? "yes" : "no");
+        if (a.agreement_violated || a.validity_violated) {
+          std::puts("!! SAFETY VIOLATION — model bug");
+          return 1;
+        }
+        if (protocol == Protocol::kRetryOwn && n == 3 &&
+            sem == AbortSemantics::kUnrestrictedOverlap) {
+          t9_ok = a.livelock_cycle_found && a.bivalence_always_extendable;
+          witness = a.livelock_witness;
+        }
+        if (protocol == Protocol::kRetryOwn && n == 2 &&
+            sem == AbortSemantics::kFailOnly) {
+          c11_ok = a.always_decides;
+        }
+      }
+    }
+  }
+
+  std::puts("\n-- Theorem 9 livelock witness (3 procs, overlap aborts):");
+  std::puts("   a reachable cycle the adversary repeats forever — every");
+  std::puts("   process keeps taking steps, nobody ever decides:");
+  for (const std::string& move : witness) {
+    std::printf("     %s\n", move.c_str());
+  }
+
+  std::puts("\nReading:");
+  std::puts(" * 3+ procs, overlap-abort semantics (the adversary power the");
+  std::puts("   Theorem 9 proof uses): wait-freedom fails — fo-consensus,");
+  std::puts("   and hence any OFTM (Lemmas 7/8), cannot solve 3-consensus.");
+  std::puts(" * 2 procs, fail-only semantics: consensus is solved against");
+  std::puts("   every schedule — the possibility half of Corollary 11.");
+  std::puts(" * Boundary finding (documented in EXPERIMENTS.md E-C11): with");
+  std::puts("   overlap aborts even 2 procs livelock; with fail-only aborts");
+  std::puts("   even 4 procs decide. The abstract object of [6] sits");
+  std::puts("   strictly between these two semantics.");
+
+  return t9_ok && c11_ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// B3 — contention-manager ablation on DSTM.
+//
+// Paper hook: Section 1's contention-manager contract ("back off for some
+// fixed time (maybe random) to give Ti a chance, but eventually Tk must be
+// able to abort Ti"). Expected shape: under high contention, Polite/Karma/
+// Timestamp sustain commits with fewer wasted aborts than Aggressive;
+// Suicide collapses throughput (self-sacrifice churns); under low
+// contention all converge (EXPERIMENTS.md E-B3).
+#include <benchmark/benchmark.h>
+
+#include "cm/managers.hpp"
+#include "workload/driver.hpp"
+#include "workload/factory.hpp"
+
+namespace {
+
+using oftm::workload::AccessPattern;
+using oftm::workload::WorkloadConfig;
+
+void BM_ContentionManager(benchmark::State& state, const std::string& cm,
+                          bool high_contention) {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t kills = 0;
+  for (auto _ : state) {
+    auto tm = oftm::workload::make_tm("dstm:" + cm,
+                                      high_contention ? 64 : 65536);
+    WorkloadConfig config;
+    config.threads = 8;
+    config.tx_per_thread = 3000;
+    config.ops_per_tx = 8;
+    config.write_fraction = high_contention ? 0.8 : 0.2;
+    config.pattern =
+        high_contention ? AccessPattern::kZipf : AccessPattern::kUniform;
+    config.seed = 7;
+    const auto r = oftm::workload::run_workload(*tm, config);
+    state.SetIterationTime(r.seconds);
+    committed += r.committed;
+    aborted += r.aborted_attempts;
+    kills += r.tm_stats.victim_kills;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.counters["abort_ratio"] =
+      static_cast<double>(aborted) /
+      static_cast<double>(committed + aborted + 1);
+  state.counters["victim_kills"] = static_cast<double>(kills);
+  state.SetLabel(cm);
+}
+
+void register_all() {
+  for (const std::string& cm : oftm::cm::manager_names()) {
+    benchmark::RegisterBenchmark(
+        "B3/high_contention",
+        [cm](benchmark::State& s) { BM_ContentionManager(s, cm, true); })
+        ->UseManualTime()
+        ->Iterations(2);
+    benchmark::RegisterBenchmark(
+        "B3/low_contention",
+        [cm](benchmark::State& s) { BM_ContentionManager(s, cm, false); })
+        ->UseManualTime()
+        ->Iterations(2);
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace

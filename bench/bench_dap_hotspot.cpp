@@ -1,0 +1,127 @@
+// B2 — the hardware cost of the strict-DAP impossibility: artificial hot
+// spots on shared transaction descriptors.
+//
+// Scenario (the Figure 2 pattern scaled up): a *disruptor* thread runs long
+// transactions that take ownership of one t-variable in every worker's
+// partition, then lingers before completing. Workers run transactions on
+// their own private t-variables only — pairwise disjoint footprints.
+//
+//   * On DSTM, every worker that touches its poisoned t-variable must
+//     resolve (and CAS) the disruptor's descriptor status — one cache line
+//     shared by all workers: the paper's "artificial hot spots ... useless
+//     cache invalidations".
+//   * On TL there is no shared metadata between workers (strict DAP) — but
+//     workers stall on the disruptor's locks instead (self-abort/retry).
+//
+// Expected shape (EXPERIMENTS.md E-B2): worker throughput degradation
+// relative to the disruptor-free baseline grows with worker count on DSTM;
+// TL degrades by blocking (gave-up spikes) rather than by cache traffic.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/tm.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/topology.hpp"
+#include "workload/factory.hpp"
+
+namespace {
+
+void BM_HotspotIndirect(benchmark::State& state, const std::string& backend,
+                        bool with_disruptor) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kTxPerWorker = 3000;
+  const std::size_t vars = static_cast<std::size_t>(workers);
+
+  std::uint64_t committed_total = 0;
+  for (auto _ : state) {
+    auto tm = oftm::workload::make_tm(backend, vars);
+    std::atomic<bool> stop{false};
+    oftm::runtime::SpinBarrier barrier(
+        static_cast<std::uint32_t>(workers) + 1);
+
+    std::thread disruptor;
+    if (with_disruptor) {
+      disruptor = std::thread([&] {
+        std::uint64_t v = 1'000'000'000ULL;
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto txn = tm->begin();
+          bool ok = true;
+          for (std::size_t x = 0; x < vars && ok; ++x) {
+            ok = tm->write(*txn, static_cast<oftm::core::TVarId>(x), ++v);
+          }
+          // Linger while owning everything: the suspended-Tm of Figure 2.
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          if (ok) (void)tm->try_commit(*txn);
+        }
+      });
+    }
+
+    std::vector<std::thread> pool;
+    std::vector<std::uint64_t> committed(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        oftm::runtime::pin_current_thread(t);
+        std::uint64_t mine = 0;
+        std::uint64_t v = (static_cast<std::uint64_t>(t) + 1) << 40;
+        barrier.arrive_and_wait();
+        const auto x = static_cast<oftm::core::TVarId>(t);
+        for (std::uint64_t i = 0; i < kTxPerWorker; ++i) {
+          for (int attempt = 0; attempt < 10000; ++attempt) {
+            auto txn = tm->begin();
+            if (!tm->read(*txn, x).has_value()) continue;
+            if (!tm->write(*txn, x, ++v)) continue;
+            if (tm->try_commit(*txn)) {
+              ++mine;
+              break;
+            }
+          }
+        }
+        committed[static_cast<std::size_t>(t)] = mine;
+        barrier.arrive_and_wait();
+      });
+    }
+
+    barrier.arrive_and_wait();
+    const auto start = std::chrono::steady_clock::now();
+    barrier.arrive_and_wait();
+    const auto stopt = std::chrono::steady_clock::now();
+    stop.store(true);
+    for (auto& w : pool) w.join();
+    if (disruptor.joinable()) disruptor.join();
+
+    state.SetIterationTime(
+        std::chrono::duration<double>(stopt - start).count());
+    for (std::uint64_t c : committed) committed_total += c;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed_total));
+  state.counters["workers"] = workers;
+  state.SetLabel(backend + (with_disruptor ? "+disruptor" : "+baseline"));
+}
+
+void register_all() {
+  for (const std::string backend :
+       {std::string("dstm"), std::string("dstm-collapse"), std::string("tl"),
+        std::string("foctm-hinted")}) {
+    for (bool disruptor : {false, true}) {
+      benchmark::RegisterBenchmark(
+          "B2/hotspot_indirect",
+          [backend, disruptor](benchmark::State& s) {
+            BM_HotspotIndirect(s, backend, disruptor);
+          })
+          ->Arg(2)
+          ->Arg(4)
+          ->Arg(8)
+          ->Arg(16)
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace

@@ -1,0 +1,124 @@
+// B5 — fo-consensus object costs: propose latency solo and under
+// contention, abort rates of the strict (abortable) object, and the cost of
+// Algorithm 1 (fo-consensus through a whole TM transaction) against the
+// bare objects.
+//
+// Expected shape (EXPERIMENTS.md E-B5): CAS-backed propose ~ one CAS;
+// strict adds a counter round-trip; Algorithm 1 costs a full transaction
+// (roughly an order of magnitude more); strict abort rate rises with
+// threads while CAS-backed never aborts.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cm/managers.hpp"
+#include "core/platform.hpp"
+#include "dstm/dstm.hpp"
+#include "foc/fo_consensus.hpp"
+#include "foc/foc_from_tm.hpp"
+#include "runtime/barrier.hpp"
+
+namespace {
+
+using Hw = oftm::core::HwPlatform;
+
+template <typename Foc>
+void BM_SoloPropose(benchmark::State& state) {
+  // One-shot objects: allocate in blocks to amortize.
+  constexpr int kBlock = 1024;
+  std::vector<Foc> block(kBlock);
+  int i = 0;
+  for (auto _ : state) {
+    if (i == kBlock) {
+      state.PauseTiming();
+      std::vector<Foc>(kBlock).swap(block);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(block[static_cast<std::size_t>(i++)].propose(7));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+using CasFoc = oftm::foc::CasFoConsensus<Hw, std::uint64_t, 0>;
+using StrictFoc = oftm::foc::StrictFoConsensus<Hw, std::uint64_t, 0>;
+
+BENCHMARK(BM_SoloPropose<CasFoc>)->Name("B5/solo_propose_cas");
+BENCHMARK(BM_SoloPropose<StrictFoc>)->Name("B5/solo_propose_strict");
+
+template <typename Foc>
+void BM_ContendedPropose(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kRounds = 20000;
+  std::uint64_t aborts = 0;
+  std::uint64_t decided = 0;
+  for (auto _ : state) {
+    auto objects = std::make_unique<Foc[]>(kRounds);
+    oftm::runtime::SpinBarrier barrier(static_cast<std::uint32_t>(threads) +
+                                       1);
+    std::atomic<std::uint64_t> abort_count{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        barrier.arrive_and_wait();
+        std::uint64_t my_aborts = 0;
+        for (int r = 0; r < kRounds; ++r) {
+          if (!objects[r].propose(static_cast<std::uint64_t>(t + 1))
+                   .has_value()) {
+            ++my_aborts;
+          }
+        }
+        abort_count.fetch_add(my_aborts);
+        barrier.arrive_and_wait();
+      });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    barrier.arrive_and_wait();
+    barrier.arrive_and_wait();
+    const auto stop = std::chrono::steady_clock::now();
+    for (auto& w : workers) w.join();
+    state.SetIterationTime(std::chrono::duration<double>(stop - start).count());
+    aborts += abort_count.load();
+    decided += static_cast<std::uint64_t>(kRounds) * threads;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decided));
+  state.counters["abort_ratio"] =
+      static_cast<double>(aborts) / static_cast<double>(decided);
+  state.counters["threads"] = threads;
+}
+
+BENCHMARK(BM_ContendedPropose<CasFoc>)
+    ->Name("B5/contended_propose_cas")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Iterations(2);
+BENCHMARK(BM_ContendedPropose<StrictFoc>)
+    ->Name("B5/contended_propose_strict")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Iterations(2);
+
+// Algorithm 1: a propose is one whole transaction on the underlying OFTM.
+void BM_Algorithm1Propose(benchmark::State& state) {
+  auto tm = std::make_unique<oftm::dstm::HwDstm>(
+      4, oftm::cm::make_manager("polite"));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    // A fresh t-variable per propose would need unbounded t-vars; reuse the
+    // same variable and let later proposes adopt: the measured path is the
+    // same (one transaction).
+    oftm::foc::FocFromTm foc(*tm, 0);
+    benchmark::DoNotOptimize(foc.propose(++round));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_Algorithm1Propose)->Name("B5/algorithm1_propose_over_dstm");
+
+}  // namespace

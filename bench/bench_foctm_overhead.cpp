@@ -1,0 +1,62 @@
+// B4 — the cost of Algorithm 2, quantifying the paper's footnote 6: "its
+// use of unbounded memory and high time complexity make it rather
+// impractical".
+//
+// Setup: a t-variable accumulates D committed versions; we then measure the
+// cost of one more read-modify-write transaction on it.
+// Expected shape (EXPERIMENTS.md E-B4):
+//   faithful FOCTM: cost grows linearly with D (the acquire walks the whole
+//     Owner[x, 1..D] chain every time);
+//   hinted FOCTM: flat (resolved-prefix skip) — the ablation isolating the
+//     restart-at-1 rule as the source of the impracticality;
+//   DSTM: flat and ~an order of magnitude cheaper (one CAS word per
+//     t-variable instead of an fo-consensus chain).
+#include <benchmark/benchmark.h>
+
+#include "cm/managers.hpp"
+#include "core/tm.hpp"
+#include "workload/factory.hpp"
+
+namespace {
+
+void BM_DepthCost(benchmark::State& state, const std::string& backend) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  auto tm = oftm::workload::make_tm(backend, 4);
+  // Build the version chain.
+  for (std::uint64_t i = 1; i <= depth; ++i) {
+    auto txn = tm->begin();
+    (void)tm->read(*txn, 0);
+    (void)tm->write(*txn, 0, i);
+    (void)tm->try_commit(*txn);
+  }
+  std::uint64_t next = depth + 1;
+  for (auto _ : state) {
+    auto txn = tm->begin();
+    benchmark::DoNotOptimize(tm->read(*txn, 0));
+    (void)tm->write(*txn, 0, next++);
+    (void)tm->try_commit(*txn);
+  }
+  state.SetLabel(backend);
+  state.counters["depth"] = static_cast<double>(depth);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void register_all() {
+  for (const std::string& backend :
+       {std::string("foctm"), std::string("foctm-hinted"),
+        std::string("dstm"), std::string("tl")}) {
+    auto* b = benchmark::RegisterBenchmark(
+        "B4/version_depth",
+        [backend](benchmark::State& s) { BM_DepthCost(s, backend); });
+    for (std::int64_t depth : {0, 256, 1024, 4096}) {
+      // The faithful walk is O(depth + iterations): bound iterations so the
+      // quadratic case stays measurable rather than unbounded.
+      b->Arg(depth);
+    }
+    b->Iterations(2000);
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// B8 — epoch-based reclamation costs: the substrate price of building
+// DSTM-style OFTMs in a non-GC language (the reproduction band's "manual
+// memory reclamation adds effort").
+//
+// Measures: read-side guard enter/exit, retire throughput under concurrent
+// readers, and epoch-advance behaviour (retired backlog staying bounded).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/epoch.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace {
+
+using oftm::runtime::EpochManager;
+
+void BM_GuardEnterExit(benchmark::State& state) {
+  EpochManager mgr;
+  for (auto _ : state) {
+    EpochManager::Guard guard(mgr);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GuardEnterExit)->Name("B8/guard_enter_exit");
+
+void BM_NestedGuard(benchmark::State& state) {
+  EpochManager mgr;
+  EpochManager::Guard outer(mgr);
+  for (auto _ : state) {
+    EpochManager::Guard inner(mgr);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NestedGuard)->Name("B8/nested_guard");
+
+struct Node {
+  std::uint64_t payload[4];
+};
+
+void BM_RetireReclaim(benchmark::State& state) {
+  EpochManager mgr;
+  for (auto _ : state) {
+    EpochManager::Guard guard(mgr);
+    mgr.retire(new Node);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["leftover"] = static_cast<double>(mgr.retired_count());
+}
+BENCHMARK(BM_RetireReclaim)->Name("B8/retire_single_thread");
+
+void BM_RetireUnderReaders(benchmark::State& state) {
+  // One retiring thread (the benchmark thread) with N guard-cycling reader
+  // threads: measures how reader traffic slows epoch advance.
+  const int readers = static_cast<int>(state.range(0));
+  EpochManager mgr;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochManager::Guard guard(mgr);
+        benchmark::ClobberMemory();
+      }
+    });
+  }
+  for (auto _ : state) {
+    mgr.retire(new Node);
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 16; ++i) mgr.reclaim();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["readers"] = readers;
+  state.counters["leftover"] = static_cast<double>(mgr.retired_count());
+}
+BENCHMARK(BM_RetireUnderReaders)
+    ->Name("B8/retire_under_readers")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8);
+
+}  // namespace

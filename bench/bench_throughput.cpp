@@ -1,0 +1,116 @@
+// B1 — throughput vs. thread count across backends and access mixes.
+//
+// Paper hook: Section 1 positions TM as "nearly as efficient ... as
+// hand-crafted fine-grained locking" and OFTMs as paying for their liveness
+// guarantee. Expected shape: TL >= DSTM >> FOCTM; Coarse flat/declining;
+// TL2 close to TL. Absolute numbers are machine-specific; the ordering and
+// scaling shapes are the reproduction target (EXPERIMENTS.md E-B1).
+#include <benchmark/benchmark.h>
+
+#include "workload/driver.hpp"
+#include "workload/factory.hpp"
+
+namespace {
+
+using oftm::workload::AccessPattern;
+using oftm::workload::WorkloadConfig;
+
+const std::vector<std::string>& backends() {
+  static const std::vector<std::string> names = {
+      "dstm",   "dstm-collapse", "dstm-visible", "tl",
+      "tl2",    "tl2-ext",       "coarse",       "foctm-hinted"};
+  return names;
+}
+
+void run_mix(benchmark::State& state, double write_fraction,
+             AccessPattern pattern) {
+  const std::string backend = backends()[static_cast<std::size_t>(
+      state.range(0))];
+  const int threads = static_cast<int>(state.range(1));
+
+  // Algorithm 2 (foctm) has no contention manager: under hot-key (zipf)
+  // contention, concurrent transactions revoke each other's ownership
+  // indefinitely (see DESIGN.md / footnote 6). Skip that one combination;
+  // every other mix exercises it.
+  if (pattern == AccessPattern::kZipf && threads > 1 &&
+      backend.rfind("foctm", 0) == 0) {
+    state.SkipWithError("foctm livelocks under hot-key contention (by design)");
+    return;
+  }
+
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  for (auto _ : state) {
+    auto tm = oftm::workload::make_tm(backend, 4096);
+    WorkloadConfig config;
+    config.threads = threads;
+    config.tx_per_thread = 20000 / static_cast<std::uint64_t>(threads) + 500;
+    config.ops_per_tx = 6;
+    config.write_fraction = write_fraction;
+    config.pattern = pattern;
+    config.seed = 42;
+    const auto r = oftm::workload::run_workload(*tm, config);
+    state.SetIterationTime(r.seconds);
+    committed += r.committed;
+    aborted += r.aborted_attempts;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.counters["threads"] = threads;
+  state.counters["abort_ratio"] =
+      committed + aborted > 0
+          ? static_cast<double>(aborted) / static_cast<double>(committed +
+                                                               aborted)
+          : 0.0;
+  state.SetLabel(backend);
+}
+
+void BM_ReadMostly(benchmark::State& state) {
+  run_mix(state, /*write_fraction=*/0.1, AccessPattern::kUniform);
+}
+
+void BM_WriteHeavy(benchmark::State& state) {
+  run_mix(state, /*write_fraction=*/0.8, AccessPattern::kUniform);
+}
+
+void BM_ZipfContended(benchmark::State& state) {
+  run_mix(state, /*write_fraction=*/0.5, AccessPattern::kZipf);
+}
+
+void BM_DisjointPartitions(benchmark::State& state) {
+  run_mix(state, /*write_fraction=*/0.8, AccessPattern::kPartitioned);
+}
+
+std::vector<std::vector<std::int64_t>> args_product() {
+  std::vector<std::vector<std::int64_t>> out;
+  for (std::size_t b = 0; b < backends().size(); ++b) {
+    for (std::int64_t t : {1, 2, 4, 8, 16}) {
+      out.push_back({static_cast<std::int64_t>(b), t});
+    }
+  }
+  return out;
+}
+
+void register_all() {
+  for (const auto& args : args_product()) {
+    benchmark::RegisterBenchmark("B1/read_mostly", BM_ReadMostly)
+        ->Args(args)
+        ->UseManualTime()
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("B1/write_heavy", BM_WriteHeavy)
+        ->Args(args)
+        ->UseManualTime()
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("B1/zipf", BM_ZipfContended)
+        ->Args(args)
+        ->UseManualTime()
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("B1/disjoint", BM_DisjointPartitions)
+        ->Args(args)
+        ->UseManualTime()
+        ->Iterations(2);
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace

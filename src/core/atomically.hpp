@@ -1,0 +1,88 @@
+// Convenience retry layer: the programming model the paper's introduction
+// describes ("a process that wants to access a shared data structure
+// executes some operations ... inside an atomic program called a
+// transaction"). A forcefully aborted transaction is transparently retried
+// with randomized backoff — the paper (Section 3) stresses that *restarting
+// a computation is up to the application*, which is exactly what this layer
+// is: application-side glue, not part of any TM implementation.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "core/tm.hpp"
+#include "runtime/backoff.hpp"
+
+namespace oftm::core {
+
+// Internal control-flow signal: the enclosing transaction aborted and the
+// body must unwind so atomically() can retry. Not derived from
+// std::exception on purpose — user catch(const std::exception&) blocks
+// inside transaction bodies must not swallow it.
+struct TxRetrySignal {};
+
+// Thrown by TxView::cancel(): unwind and do NOT retry.
+struct TxCancelled {};
+
+// The handle the transaction body programs against.
+class TxView {
+ public:
+  TxView(TransactionalMemory& tm, Transaction& txn) : tm_(tm), txn_(txn) {}
+
+  Value read(TVarId x) {
+    auto v = tm_.read(txn_, x);
+    if (!v) throw TxRetrySignal{};
+    return *v;
+  }
+
+  void write(TVarId x, Value v) {
+    if (!tm_.write(txn_, x, v)) throw TxRetrySignal{};
+  }
+
+  // Application-requested abort + retry from scratch (e.g. "retry" in
+  // composable-memory-transactions style when a precondition fails).
+  [[noreturn]] void retry() {
+    tm_.try_abort(txn_);
+    throw TxRetrySignal{};
+  }
+
+  // Application-requested abort without retry: atomically() rethrows
+  // TxCancelled to the caller.
+  [[noreturn]] void cancel() {
+    tm_.try_abort(txn_);
+    throw TxCancelled{};
+  }
+
+  Transaction& transaction() noexcept { return txn_; }
+
+ private:
+  TransactionalMemory& tm_;
+  Transaction& txn_;
+};
+
+// Run `body(TxView&)` as a transaction, retrying on (forceful or requested)
+// abort until it commits. Returns the body's return value of the committed
+// execution.
+template <typename F>
+auto atomically(TransactionalMemory& tm, F&& body) {
+  using R = std::invoke_result_t<F&, TxView&>;
+  runtime::ExponentialBackoff backoff;
+  for (;;) {
+    TxnPtr txn = tm.begin();
+    TxView view(tm, *txn);
+    try {
+      if constexpr (std::is_void_v<R>) {
+        body(view);
+        if (tm.try_commit(*txn)) return;
+      } else {
+        R result = body(view);
+        if (tm.try_commit(*txn)) return result;
+      }
+    } catch (const TxRetrySignal&) {
+      // fall through to retry
+    }
+    backoff.pause();
+  }
+}
+
+}  // namespace oftm::core

@@ -1,0 +1,127 @@
+// EventualIcTm: a TM decorator that turns any (OF)TM into an *eventual
+// ic-OFTM* in the strict sense of Definition 4 — and deliberately NOT an
+// OFTM in the sense of Definition 2.
+//
+// It injects forceful aborts that have no step-contention justification
+// (the wrapped transaction is doomed at begin and fails at its first
+// operation), but only finitely many times per decorator instance
+// (`obstruction_budget`), after which it is transparent. This models the
+// paper's weakest liveness variant: "allows a crashed process to obstruct
+// other processes ... for arbitrary, but finite time".
+//
+// Used by the Theorem 6 experiments (tests/eventual_ic_test.cpp,
+// bench_eventual_ic): Algorithm 1 over this substrate leaks the spurious
+// aborts to its caller (violating fo-obstruction-freedom), while
+// Algorithm 3's activity registers absorb them — exactly the separation the
+// theorem is about.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/tm.hpp"
+
+namespace oftm::core {
+
+struct EventualIcOptions {
+  // Total number of spurious forceful aborts this instance may inject
+  // (the finite obstruction period d of Definition 4).
+  int obstruction_budget = 8;
+  // Inject on every `abort_period`-th transaction while budget remains.
+  int abort_period = 3;
+};
+
+class EventualIcTm final : public TransactionalMemory {
+ public:
+  EventualIcTm(TransactionalMemory& inner, EventualIcOptions options = {})
+      : inner_(inner), options_(options), budget_(options.obstruction_budget) {}
+
+  TxnPtr begin() override {
+    auto txn = std::make_unique<Txn>(*this, inner_.begin());
+    const int n = begin_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.abort_period > 0 && n % options_.abort_period == 0) {
+      // Claim one unit of the obstruction budget; once it runs out the
+      // decorator is transparent forever (the "finite period" of Def. 4).
+      int b = budget_.load(std::memory_order_relaxed);
+      while (b > 0 && !budget_.compare_exchange_weak(
+                          b, b - 1, std::memory_order_relaxed)) {
+      }
+      if (b > 0) txn->doomed_ = true;
+    }
+    return txn;
+  }
+
+  std::optional<Value> read(Transaction& t, TVarId x) override {
+    auto& tx = static_cast<Txn&>(t);
+    if (tx.doom_if_needed()) return std::nullopt;
+    return inner_.read(*tx.inner_, x);
+  }
+
+  bool write(Transaction& t, TVarId x, Value v) override {
+    auto& tx = static_cast<Txn&>(t);
+    if (tx.doom_if_needed()) return false;
+    return inner_.write(*tx.inner_, x, v);
+  }
+
+  bool try_commit(Transaction& t) override {
+    auto& tx = static_cast<Txn&>(t);
+    if (tx.doom_if_needed()) return false;
+    return inner_.try_commit(*tx.inner_);
+  }
+
+  void try_abort(Transaction& t) override {
+    auto& tx = static_cast<Txn&>(t);
+    inner_.try_abort(*tx.inner_);
+  }
+
+  std::size_t num_tvars() const override { return inner_.num_tvars(); }
+  Value read_quiescent(TVarId x) const override {
+    return inner_.read_quiescent(x);
+  }
+  std::string name() const override { return inner_.name() + "+eventual-ic"; }
+  runtime::TxStats stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+
+  // Remaining spurious-abort budget (0 once the obstruction period ended).
+  int remaining_budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Txn final : public Transaction {
+   public:
+    Txn(EventualIcTm& tm, TxnPtr inner)
+        : tm_(tm), inner_(std::move(inner)) {}
+    TxStatus status() const override {
+      return doomed_executed_ ? TxStatus::kAborted : inner_->status();
+    }
+    TxId id() const override { return inner_->id(); }
+
+   private:
+    friend class EventualIcTm;
+
+    // Execute the doomed verdict at the first operation: forcefully abort
+    // with no step contention whatsoever.
+    bool doom_if_needed() {
+      if (!doomed_) return false;
+      if (!doomed_executed_) {
+        doomed_executed_ = true;
+        tm_.inner_.try_abort(*inner_);
+      }
+      return true;
+    }
+
+    EventualIcTm& tm_;
+    TxnPtr inner_;
+    bool doomed_ = false;
+    bool doomed_executed_ = false;
+  };
+
+  TransactionalMemory& inner_;
+  const EventualIcOptions options_;
+  std::atomic<int> budget_;
+  std::atomic<int> begin_count_{0};
+};
+
+}  // namespace oftm::core

@@ -1,0 +1,70 @@
+// The Platform policy: one STM code base, two execution substrates.
+//
+// Every STM backend in this repo is a template over a Platform `P`, which
+// supplies:
+//
+//   P::Atomic<T>   — std::atomic-compatible shared word. On HwPlatform this
+//                    *is* std::atomic<T>. On sim::SimPlatform each access is
+//                    a *step* in the paper's sense (Section 2.1): it is
+//                    logged into the low-level history and is a scheduling
+//                    point of the deterministic scheduler.
+//   P::Reclaimer   — deferred-free facility. Hardware: epoch-based
+//                    reclamation. Simulator: free-at-teardown arena (runs
+//                    are finite, and sim threads may hold pointers across
+//                    yields).
+//   P::pause()     — contention backoff hook (a yield point in the sim).
+//   P::thread_id() — dense id of the executing process.
+//
+// This is how the same DSTM/FOCTM source is benchmarked on real hardware
+// *and* model-checked step-by-step against the paper's definitions.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+#include "runtime/backoff.hpp"
+#include "runtime/epoch.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace oftm::core {
+
+// Reclaimer used by hardware backends: thin facade over the process-global
+// epoch manager.
+struct HwReclaimer {
+  using Guard = runtime::EpochManager::Guard;
+
+  template <typename T>
+  static void retire(T* p) {
+    runtime::EpochManager::global().retire(p);
+  }
+};
+
+struct HwPlatform {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+
+  using Reclaimer = HwReclaimer;
+
+  // Contention backoff policy used inside backend conflict loops.
+  using Backoff = runtime::ExponentialBackoff;
+
+  static void pause() noexcept { runtime::cpu_pause(); }
+  static int thread_id() { return runtime::ThreadRegistry::current_id(); }
+  static constexpr bool kIsSimulation = false;
+};
+
+// Compile-time sanity check used by backends; intentionally loose (the sim
+// platform's Atomic mirrors std::atomic's API, not its type).
+template <typename P>
+concept PlatformLike = requires {
+  typename P::template Atomic<std::uint64_t>;
+  typename P::Reclaimer;
+  typename P::Reclaimer::Guard;
+  { P::thread_id() } -> std::convertible_to<int>;
+  { P::pause() };
+};
+
+static_assert(PlatformLike<HwPlatform>);
+
+}  // namespace oftm::core

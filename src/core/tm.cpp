@@ -1,0 +1,6 @@
+#include "core/tm.hpp"
+
+// Interface-only translation unit: anchors the vtables of Transaction and
+// TransactionalMemory so they are emitted exactly once.
+
+namespace oftm::core {}  // namespace oftm::core

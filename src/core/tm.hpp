@@ -1,0 +1,115 @@
+// The TM-as-a-shared-object interface of Section 2.2.
+//
+// Operations map 1:1 onto the paper's model:
+//   read(Tk, x)    -> value or abort event A_k        (std::nullopt)
+//   write(Tk,x,v)  -> ok or abort event A_k           (false)
+//   try_commit(Tk) -> commit event C_k or abort A_k   (true / false)
+//   try_abort(Tk)  -> abort event A_k                 (always)
+//
+// All backends (DSTM, FOCTM, TL, TL2, Coarse) implement this interface so
+// the workload harness, the history recorder and the checkers drive them
+// uniformly. The virtual-dispatch cost is identical across backends and thus
+// cancels in every comparison this repo makes; hot-path benches that need
+// raw numbers use the backends' concrete types directly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+#include "runtime/stats.hpp"
+
+namespace oftm::core {
+
+// Backend-specific per-transaction state. Obtained from begin(); passed by
+// reference to every subsequent operation of that transaction. A handle must
+// not outlive its TM and is not thread-safe (the paper: transactions at any
+// single process are never concurrent).
+class Transaction {
+ public:
+  virtual ~Transaction() = default;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  virtual TxStatus status() const = 0;
+  virtual TxId id() const = 0;
+
+ protected:
+  Transaction() = default;
+};
+
+using TxnPtr = std::unique_ptr<Transaction>;
+
+class TransactionalMemory {
+ public:
+  virtual ~TransactionalMemory() = default;
+
+  // Start a new transaction on the calling thread.
+  virtual TxnPtr begin() = 0;
+
+  // Read t-variable x within txn. nullopt == abort event A_k: the
+  // transaction is aborted and no further operation may be issued in it.
+  virtual std::optional<Value> read(Transaction& txn, TVarId x) = 0;
+
+  // Write v to t-variable x within txn. false == abort event A_k.
+  virtual bool write(Transaction& txn, TVarId x, Value v) = 0;
+
+  // tryC(Tk): request commit. true == C_k, false == A_k.
+  virtual bool try_commit(Transaction& txn) = 0;
+
+  // tryA(Tk): request abort; always succeeds (returns A_k).
+  virtual void try_abort(Transaction& txn) = 0;
+
+  // Number of t-variables this instance was created with.
+  virtual std::size_t num_tvars() const = 0;
+
+  // Committed value of x observed outside any transaction. Only meaningful
+  // when the caller can guarantee quiescence (test assertions, warm-up).
+  virtual Value read_quiescent(TVarId x) const = 0;
+
+  // Human-readable backend name for reports.
+  virtual std::string name() const = 0;
+
+  // Aggregated statistics since construction (or last reset).
+  virtual runtime::TxStats stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+// Statistics plumbing shared by all backends: striped counters so that
+// bookkeeping does not create false sharing between worker threads.
+class TmStatsMixin {
+ public:
+  runtime::TxStats collect_stats() const {
+    runtime::TxStats s;
+    s.commits = commits_.read();
+    s.aborts = aborts_.read();
+    s.forced_aborts = forced_aborts_.read();
+    s.reads = reads_.read();
+    s.writes = writes_.read();
+    s.cm_backoffs = cm_backoffs_.read();
+    s.victim_kills = victim_kills_.read();
+    return s;
+  }
+
+  void reset_collect_stats() {
+    commits_.reset();
+    aborts_.reset();
+    forced_aborts_.reset();
+    reads_.reset();
+    writes_.reset();
+    cm_backoffs_.reset();
+    victim_kills_.reset();
+  }
+
+ protected:
+  runtime::StripedCounter commits_;
+  runtime::StripedCounter aborts_;
+  runtime::StripedCounter forced_aborts_;
+  runtime::StripedCounter reads_;
+  runtime::StripedCounter writes_;
+  runtime::StripedCounter cm_backoffs_;
+  runtime::StripedCounter victim_kills_;
+};
+
+}  // namespace oftm::core

@@ -1,0 +1,56 @@
+// Typed overlay over word-sized t-variables.
+//
+// The core model stores 64-bit words (transactional registers, as in the
+// paper). TVar<T> gives examples and applications a typed veneer for any
+// trivially-copyable T that fits in a word (ints, floats, small enums,
+// indices). Section 6 of the paper shows richer object types add no
+// computational power; richer *convenience* types can be layered the same
+// way the paper describes (implement the object's sequential code over
+// transactional registers).
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+#include "core/atomically.hpp"
+#include "core/types.hpp"
+
+namespace oftm::core {
+
+template <typename T>
+concept WordEncodable =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Value);
+
+template <WordEncodable T>
+Value encode(T v) noexcept {
+  Value w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+
+template <WordEncodable T>
+T decode(Value w) noexcept {
+  T v;
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+
+// A typed t-variable: just a tagged id, cheap to copy.
+template <WordEncodable T>
+class TVar {
+ public:
+  TVar() : id_(kInvalidTVar) {}
+  explicit TVar(TVarId id) : id_(id) {}
+
+  TVarId id() const noexcept { return id_; }
+  bool valid() const noexcept { return id_ != kInvalidTVar; }
+
+  T get(TxView& tx) const { return decode<T>(tx.read(id_)); }
+  void set(TxView& tx, T v) const { tx.write(id_, encode<T>(v)); }
+
+ private:
+  TVarId id_;
+};
+
+}  // namespace oftm::core

@@ -1,0 +1,54 @@
+// Shared vocabulary types for the TM model of Section 2.2 of the paper.
+//
+// T-variables are *transactional registers* holding 64-bit words — exactly
+// the model the paper proves its results in ("the proofs of our results are
+// more easily explained with only read-write t-variables"; Section 6 argues
+// this does not lose generality). A typed overlay lives in core/tvar.hpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace oftm::core {
+
+// Value stored in a t-variable (a transactional register).
+using Value = std::uint64_t;
+
+// Index of a t-variable within a TM instance.
+using TVarId = std::uint32_t;
+
+inline constexpr TVarId kInvalidTVar = std::numeric_limits<TVarId>::max();
+
+// Globally unique transaction identifier. The paper (footnote 3) generates
+// ids locally by combining the process id with a per-process counter; we do
+// the same: high 16 bits = thread slot, low 48 bits = local counter.
+using TxId = std::uint64_t;
+
+inline constexpr TxId make_tx_id(int thread_slot,
+                                 std::uint64_t local_counter) noexcept {
+  return (static_cast<TxId>(static_cast<std::uint16_t>(thread_slot)) << 48) |
+         (local_counter & ((std::uint64_t{1} << 48) - 1));
+}
+
+inline constexpr int tx_id_thread(TxId id) noexcept {
+  return static_cast<int>(id >> 48);
+}
+
+// Completion status of a transaction (Section 2.2: live / committed /
+// aborted).
+enum class TxStatus : std::uint32_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+inline const char* to_string(TxStatus s) noexcept {
+  switch (s) {
+    case TxStatus::kActive: return "active";
+    case TxStatus::kCommitted: return "committed";
+    case TxStatus::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace oftm::core

@@ -1,0 +1,54 @@
+// Strict disjoint-access-parallelism analysis (Definition 12 of the paper,
+// Theorem 13's measurement side).
+//
+// Definition 12: an STM is strictly disjoint-access-parallel if whenever two
+// transactions conflict on a base object (both access it, at least one
+// access modifies it), the transactions access a common t-variable.
+//
+// The simulator's low-level history contains every base-object step tagged
+// with the transaction it was executed on behalf of (Env::set_label), so
+// this module can evaluate the definition *exactly*: find all base-object
+// conflicts between distinct transactions, then flag those whose
+// t-variable footprints are disjoint — each such pair is a strict-DAP
+// violation witness (in DSTM: the CASes on a shared transaction
+// descriptor's status; in TL2: the global clock).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/step.hpp"
+
+namespace oftm::dap {
+
+// T-variable footprint of each transaction, keyed by the trace label
+// (Env::set_label value, conventionally the TxId).
+using Footprints = std::map<std::uint64_t, std::set<core::TVarId>>;
+
+struct ConflictPair {
+  std::uint64_t tx_a = 0;
+  std::uint64_t tx_b = 0;
+  const void* object = nullptr;  // the shared base object
+  bool disjoint_tvars = false;   // true => strict-DAP violation witness
+};
+
+struct ConflictReport {
+  std::vector<ConflictPair> pairs;     // deduplicated (tx_a < tx_b, object)
+  std::uint64_t violations = 0;        // pairs with disjoint footprints
+  std::uint64_t benign_conflicts = 0;  // pairs sharing a t-variable
+
+  std::string summarize(
+      const std::vector<std::pair<const void*, std::string>>& names = {})
+      const;
+};
+
+// Analyze a simulated low-level history. Steps with label 0 are ignored
+// (bookkeeping outside any transaction).
+ConflictReport analyze(const std::vector<sim::Step>& trace,
+                       const Footprints& footprints);
+
+}  // namespace oftm::dap

@@ -1,0 +1,7 @@
+#include "ds/thashmap.hpp"
+#include "ds/tlist.hpp"
+#include "ds/tqueue.hpp"
+
+// Header-only containers; this TU anchors the library target.
+
+namespace oftm::ds {}  // namespace oftm::ds

@@ -1,0 +1,127 @@
+// THashMap: fixed-capacity open-addressing hash map over transactional
+// registers (linear probing, tombstone deletion).
+//
+// Layout (starting at `base`):
+//   base + 0        live-entry count
+//   base + 1 + 2i   slot i key   (kEmptyKey / kTombstone sentinels)
+//   base + 2 + 2i   slot i value
+//
+// Keys must avoid the two sentinels; capacity must be a power of two. All
+// operations compose through TxView like the other ds:: containers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/atomically.hpp"
+#include "core/types.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/xorshift.hpp"
+
+namespace oftm::ds {
+
+class THashMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+  static constexpr std::uint64_t kTombstone = ~std::uint64_t{0} - 1;
+
+  static constexpr std::size_t tvars_needed(std::uint32_t capacity) {
+    return 1 + 2 * static_cast<std::size_t>(capacity);
+  }
+
+  THashMap(core::TransactionalMemory& tm, core::TVarId base,
+           std::uint32_t capacity)
+      : tm_(tm), base_(base), capacity_(capacity) {
+    OFTM_ASSERT((capacity & (capacity - 1)) == 0 && capacity >= 2);
+    OFTM_ASSERT(base + tvars_needed(capacity) <= tm.num_tvars());
+  }
+
+  void init() {
+    core::atomically(tm_, [&](core::TxView& tx) {
+      tx.write(count_var(), 0);
+      for (std::uint32_t i = 0; i < capacity_; ++i) {
+        tx.write(key_var(i), kEmptyKey);
+      }
+    });
+  }
+
+  // Insert or overwrite; returns true if the key was newly inserted.
+  bool put(core::TxView& tx, std::uint64_t key, core::Value value) {
+    OFTM_ASSERT(key != kEmptyKey && key != kTombstone);
+    std::uint32_t first_tombstone = capacity_;
+    for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
+      const std::uint32_t i = slot(key, probe);
+      const std::uint64_t k = tx.read(key_var(i));
+      if (k == key) {
+        tx.write(val_var(i), value);
+        return false;
+      }
+      if (k == kTombstone && first_tombstone == capacity_) {
+        first_tombstone = i;
+        continue;
+      }
+      if (k == kEmptyKey) {
+        const std::uint32_t target =
+            first_tombstone != capacity_ ? first_tombstone : i;
+        tx.write(key_var(target), key);
+        tx.write(val_var(target), value);
+        tx.write(count_var(), tx.read(count_var()) + 1);
+        return true;
+      }
+    }
+    if (first_tombstone != capacity_) {
+      tx.write(key_var(first_tombstone), key);
+      tx.write(val_var(first_tombstone), value);
+      tx.write(count_var(), tx.read(count_var()) + 1);
+      return true;
+    }
+    OFTM_ASSERT_MSG(false, "THashMap capacity exhausted");
+    return false;
+  }
+
+  std::optional<core::Value> get(core::TxView& tx, std::uint64_t key) {
+    for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
+      const std::uint32_t i = slot(key, probe);
+      const std::uint64_t k = tx.read(key_var(i));
+      if (k == key) return tx.read(val_var(i));
+      if (k == kEmptyKey) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  bool erase(core::TxView& tx, std::uint64_t key) {
+    for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
+      const std::uint32_t i = slot(key, probe);
+      const std::uint64_t k = tx.read(key_var(i));
+      if (k == key) {
+        tx.write(key_var(i), kTombstone);
+        tx.write(count_var(), tx.read(count_var()) - 1);
+        return true;
+      }
+      if (k == kEmptyKey) return false;
+    }
+    return false;
+  }
+
+  std::uint64_t size(core::TxView& tx) { return tx.read(count_var()); }
+
+  std::uint64_t size_quiescent() const {
+    return tm_.read_quiescent(count_var());
+  }
+
+ private:
+  core::TVarId count_var() const { return base_; }
+  core::TVarId key_var(std::uint32_t i) const { return base_ + 1 + 2 * i; }
+  core::TVarId val_var(std::uint32_t i) const { return base_ + 2 + 2 * i; }
+
+  std::uint32_t slot(std::uint64_t key, std::uint32_t probe) const {
+    return static_cast<std::uint32_t>((runtime::mix64(key) + probe) &
+                                      (capacity_ - 1));
+  }
+
+  core::TransactionalMemory& tm_;
+  const core::TVarId base_;
+  const std::uint32_t capacity_;
+};
+
+}  // namespace oftm::ds

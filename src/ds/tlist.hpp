@@ -1,0 +1,168 @@
+// TListSet: a sorted linked-list set over transactional registers.
+//
+// The paper's opening example of why TM exists: "a process that wants to
+// access a shared data structure executes some operations on this structure
+// inside an atomic program called a transaction." Every operation takes a
+// TxView, so operations compose into larger atomic programs (e.g. an atomic
+// move between two sets — see examples/linked_list_set.cpp), which is the
+// composability the introduction contrasts with locks [16].
+//
+// Layout (within the TM's t-variable space, starting at `base`):
+//   base + 0        head index (0 = null, i >= 1 = node i-1)
+//   base + 1        free-list head index
+//   base + 2        element count
+//   base + 3 + 2i   node i key
+//   base + 4 + 2i   node i next-index
+//
+// Node storage is a transactional free list, so allocation itself is
+// transactional: an aborted insert leaks nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "core/atomically.hpp"
+#include "core/types.hpp"
+#include "runtime/assert.hpp"
+
+namespace oftm::ds {
+
+class TListSet {
+ public:
+  // Number of t-variables a set with `capacity` nodes occupies.
+  static constexpr std::size_t tvars_needed(std::uint32_t capacity) {
+    return 3 + 2 * static_cast<std::size_t>(capacity);
+  }
+
+  TListSet(core::TransactionalMemory& tm, core::TVarId base,
+           std::uint32_t capacity)
+      : tm_(tm), base_(base), capacity_(capacity) {
+    OFTM_ASSERT(base + tvars_needed(capacity) <= tm.num_tvars());
+  }
+
+  // One-time initialization (runs its own committed transaction): threads
+  // all nodes onto the free list.
+  void init() {
+    core::atomically(tm_, [&](core::TxView& tx) {
+      tx.write(head_var(), kNull);
+      tx.write(count_var(), 0);
+      for (std::uint32_t i = 0; i < capacity_; ++i) {
+        tx.write(next_var(i), i + 1 < capacity_ ? index_of(i + 1) : kNull);
+      }
+      tx.write(free_var(), capacity_ > 0 ? index_of(0) : kNull);
+    });
+  }
+
+  // Inserts key; false if already present. Throws TxRetrySignal via TxView
+  // on TM-level abort (handled by atomically()); cancels via full set.
+  bool insert(core::TxView& tx, std::uint64_t key) {
+    auto [prev, cur] = locate(tx, key);
+    if (cur != kNull && tx.read(key_var(node_of(cur))) == key) {
+      return false;  // already present
+    }
+    const core::Value fresh = tx.read(free_var());
+    OFTM_ASSERT_MSG(fresh != kNull, "TListSet capacity exhausted");
+    const std::uint32_t node = node_of(fresh);
+    tx.write(free_var(), tx.read(next_var(node)));
+    tx.write(key_var(node), key);
+    tx.write(next_var(node), cur);
+    link(tx, prev, fresh);
+    tx.write(count_var(), tx.read(count_var()) + 1);
+    return true;
+  }
+
+  // Removes key; false if absent. The node returns to the free list.
+  bool erase(core::TxView& tx, std::uint64_t key) {
+    auto [prev, cur] = locate(tx, key);
+    if (cur == kNull || tx.read(key_var(node_of(cur))) != key) {
+      return false;
+    }
+    const std::uint32_t node = node_of(cur);
+    link(tx, prev, tx.read(next_var(node)));
+    tx.write(next_var(node), tx.read(free_var()));
+    tx.write(free_var(), cur);
+    tx.write(count_var(), tx.read(count_var()) - 1);
+    return true;
+  }
+
+  bool contains(core::TxView& tx, std::uint64_t key) {
+    auto [prev, cur] = locate(tx, key);
+    (void)prev;
+    return cur != kNull && tx.read(key_var(node_of(cur))) == key;
+  }
+
+  std::uint64_t size(core::TxView& tx) { return tx.read(count_var()); }
+
+  // Quiescent structural audit (outside transactions; caller guarantees no
+  // concurrency): sortedness, count consistency, free-list integrity.
+  bool audit_quiescent() const {
+    std::uint64_t counted = 0;
+    std::uint64_t prev_key = 0;
+    bool first = true;
+    core::Value cur = tm_.read_quiescent(head_var());
+    while (cur != kNull) {
+      if (counted > capacity_) return false;  // cycle
+      const std::uint64_t k = tm_.read_quiescent(key_var(node_of(cur)));
+      if (!first && k <= prev_key) return false;  // unsorted / duplicate
+      prev_key = k;
+      first = false;
+      ++counted;
+      cur = tm_.read_quiescent(next_var(node_of(cur)));
+    }
+    if (counted != tm_.read_quiescent(count_var())) return false;
+    // Free list: remaining nodes, no overlap assumed by length check.
+    std::uint64_t free_count = 0;
+    cur = tm_.read_quiescent(free_var());
+    while (cur != kNull) {
+      if (free_count > capacity_) return false;
+      ++free_count;
+      cur = tm_.read_quiescent(next_var(node_of(cur)));
+    }
+    return counted + free_count == capacity_;
+  }
+
+ private:
+  static constexpr core::Value kNull = 0;
+  static constexpr core::Value index_of(std::uint32_t node) {
+    return node + 1;
+  }
+  static constexpr std::uint32_t node_of(core::Value index) {
+    return static_cast<std::uint32_t>(index - 1);
+  }
+
+  core::TVarId head_var() const { return base_; }
+  core::TVarId free_var() const { return base_ + 1; }
+  core::TVarId count_var() const { return base_ + 2; }
+  core::TVarId key_var(std::uint32_t node) const {
+    return base_ + 3 + 2 * node;
+  }
+  core::TVarId next_var(std::uint32_t node) const {
+    return base_ + 4 + 2 * node;
+  }
+
+  // Finds the first node with key >= `key`; returns (prev index, cur
+  // index), kNull prev meaning head.
+  std::pair<core::Value, core::Value> locate(core::TxView& tx,
+                                             std::uint64_t key) {
+    core::Value prev = kNull;
+    core::Value cur = tx.read(head_var());
+    while (cur != kNull && tx.read(key_var(node_of(cur))) < key) {
+      prev = cur;
+      cur = tx.read(next_var(node_of(cur)));
+    }
+    return {prev, cur};
+  }
+
+  void link(core::TxView& tx, core::Value prev, core::Value target) {
+    if (prev == kNull) {
+      tx.write(head_var(), target);
+    } else {
+      tx.write(next_var(node_of(prev)), target);
+    }
+  }
+
+  core::TransactionalMemory& tm_;
+  const core::TVarId base_;
+  const std::uint32_t capacity_;
+};
+
+}  // namespace oftm::ds

@@ -1,0 +1,81 @@
+// TQueue: a bounded FIFO ring buffer over transactional registers.
+//
+// Layout (starting at `base`):
+//   base + 0      head position (dequeue side, monotonically increasing)
+//   base + 1      tail position (enqueue side, monotonically increasing)
+//   base + 2 + i  ring slots (position mod capacity)
+//
+// Monotone positions avoid the classic full/empty ambiguity; positions wrap
+// only after 2^64 operations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/atomically.hpp"
+#include "core/types.hpp"
+#include "runtime/assert.hpp"
+
+namespace oftm::ds {
+
+class TQueue {
+ public:
+  static constexpr std::size_t tvars_needed(std::uint32_t capacity) {
+    return 2 + static_cast<std::size_t>(capacity);
+  }
+
+  TQueue(core::TransactionalMemory& tm, core::TVarId base,
+         std::uint32_t capacity)
+      : tm_(tm), base_(base), capacity_(capacity) {
+    OFTM_ASSERT(capacity >= 1);
+    OFTM_ASSERT(base + tvars_needed(capacity) <= tm.num_tvars());
+  }
+
+  void init() {
+    core::atomically(tm_, [&](core::TxView& tx) {
+      tx.write(head_var(), 0);
+      tx.write(tail_var(), 0);
+    });
+  }
+
+  // False if full.
+  bool enqueue(core::TxView& tx, core::Value v) {
+    const std::uint64_t head = tx.read(head_var());
+    const std::uint64_t tail = tx.read(tail_var());
+    if (tail - head >= capacity_) return false;
+    tx.write(slot_var(tail), v);
+    tx.write(tail_var(), tail + 1);
+    return true;
+  }
+
+  // nullopt if empty.
+  std::optional<core::Value> dequeue(core::TxView& tx) {
+    const std::uint64_t head = tx.read(head_var());
+    const std::uint64_t tail = tx.read(tail_var());
+    if (head == tail) return std::nullopt;
+    const core::Value v = tx.read(slot_var(head));
+    tx.write(head_var(), head + 1);
+    return v;
+  }
+
+  std::uint64_t size(core::TxView& tx) {
+    return tx.read(tail_var()) - tx.read(head_var());
+  }
+
+  std::uint64_t size_quiescent() const {
+    return tm_.read_quiescent(tail_var()) - tm_.read_quiescent(head_var());
+  }
+
+ private:
+  core::TVarId head_var() const { return base_; }
+  core::TVarId tail_var() const { return base_ + 1; }
+  core::TVarId slot_var(std::uint64_t pos) const {
+    return base_ + 2 + static_cast<core::TVarId>(pos % capacity_);
+  }
+
+  core::TransactionalMemory& tm_;
+  const core::TVarId base_;
+  const std::uint32_t capacity_;
+};
+
+}  // namespace oftm::ds

@@ -1,0 +1,13 @@
+#include "dstm/dstm.hpp"
+
+#include "sim/platform.hpp"
+
+// Explicit instantiations: every translation unit that uses these platforms
+// links against the same generated code, keeping build times and code size
+// in check.
+namespace oftm::dstm {
+
+template class Dstm<core::HwPlatform>;
+template class Dstm<sim::SimPlatform>;
+
+}  // namespace oftm::dstm

@@ -1,0 +1,128 @@
+// Fail-only consensus (fo-consensus) objects — Section 4.1 of the paper.
+//
+// An fo-consensus object supports one operation, propose(v), returning a
+// value or aborting (⊥, here std::nullopt), with:
+//   fo-validity: a decided value was proposed by a propose that does not
+//     abort (an aborted propose "did not take place");
+//   agreement: no two processes decide differently;
+//   fo-obstruction-freedom: a step-contention-free propose does not abort.
+//
+// Two implementations:
+//
+//   CasFoConsensus — one CAS word. Never aborts: the CAS winner decides its
+//   own value and every loser decides the winner's. A wait-free consensus
+//   object is trivially a legal fo-consensus (aborts never happen, so the
+//   abort restriction is vacuous). This is the practical instantiation —
+//   and it documents the paper's point that real OFTMs built on CAS carry
+//   *more* power than obstruction-freedom requires.
+//
+//   StrictFoConsensus — CAS word plus an entry counter. A propose that
+//   *observes* another process's entry during its own window aborts (when
+//   the object is still undecided). The observation is itself proof of step
+//   contention, so fo-obstruction-freedom holds, and aborting before the
+//   CAS keeps fo-validity. This variant exercises every ⊥ path of
+//   Algorithm 2 and models the abstract object's abort behaviour on real
+//   hardware.
+//
+// Both are one-shot objects usable by any number of processes, exactly the
+// "one-shot objects of consensus number 2" the paper says suffice to build
+// an OFTM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/platform.hpp"
+
+namespace oftm::foc {
+
+template <typename P, typename T, T kEmpty>
+class CasFoConsensus {
+  template <typename U>
+  using Atomic = typename P::template Atomic<U>;
+
+ public:
+  CasFoConsensus() = default;
+  CasFoConsensus(const CasFoConsensus&) = delete;
+  CasFoConsensus& operator=(const CasFoConsensus&) = delete;
+
+  std::optional<T> propose(T v) {
+    T expected = kEmpty;
+    // acq_rel: winner publishes everything it did before proposing (used by
+    // Algorithm 2: a committed transaction's TVar writes become visible to
+    // whoever decides its state); losers acquire the winner's history.
+    if (cell_.compare_exchange_strong(expected, v,
+                                      std::memory_order_acq_rel)) {
+      return v;
+    }
+    return expected;  // already decided: adopt
+  }
+
+  bool decided() const {
+    return cell_.load(std::memory_order_acquire) != kEmpty;
+  }
+
+  // kEmpty if undecided. Not an operation of the abstract object; used by
+  // quiescent inspection only.
+  T peek() const { return cell_.load(std::memory_order_acquire); }
+
+ private:
+  Atomic<T> cell_{kEmpty};
+};
+
+template <typename P, typename T, T kEmpty>
+class StrictFoConsensus {
+  template <typename U>
+  using Atomic = typename P::template Atomic<U>;
+
+ public:
+  StrictFoConsensus() = default;
+  StrictFoConsensus(const StrictFoConsensus&) = delete;
+  StrictFoConsensus& operator=(const StrictFoConsensus&) = delete;
+
+  std::optional<T> propose(T v) {
+    // Entry announcement doubles as the contention probe: if anyone else
+    // enters between our announcement and the re-check, we observed a step
+    // of another process inside our own window.
+    const std::uint64_t token =
+        entries_.fetch_add(1, std::memory_order_acq_rel);
+    T cur = cell_.load(std::memory_order_acquire);
+    if (cur != kEmpty) return cur;  // decided: adopt (no abort necessary)
+    if (entries_.load(std::memory_order_acquire) != token + 1) {
+      return std::nullopt;  // observed step contention; nothing registered
+    }
+    T expected = kEmpty;
+    if (cell_.compare_exchange_strong(expected, v,
+                                      std::memory_order_acq_rel)) {
+      return v;
+    }
+    return expected;
+  }
+
+  bool decided() const {
+    return cell_.load(std::memory_order_acquire) != kEmpty;
+  }
+  T peek() const { return cell_.load(std::memory_order_acquire); }
+
+ private:
+  Atomic<std::uint64_t> entries_{0};
+  Atomic<T> cell_{kEmpty};
+};
+
+// Policy selectors so higher layers (Algorithm 2) can be built over either
+// object family.
+template <typename P>
+struct CasFocPolicy {
+  template <typename T, T kEmpty>
+  using Object = CasFoConsensus<P, T, kEmpty>;
+  static constexpr const char* kName = "cas-foc";
+};
+
+template <typename P>
+struct StrictFocPolicy {
+  template <typename T, T kEmpty>
+  using Object = StrictFoConsensus<P, T, kEmpty>;
+  static constexpr const char* kName = "strict-foc";
+};
+
+}  // namespace oftm::foc

@@ -1,0 +1,25 @@
+#include "foc/fo_consensus.hpp"
+#include "foc/foc_from_eventual.hpp"
+#include "foc/foc_from_tm.hpp"
+#include "foc/two_process_consensus.hpp"
+#include "sim/platform.hpp"
+
+namespace oftm::foc {
+
+// Anchor commonly used instantiations.
+template class CasFoConsensus<core::HwPlatform, std::uint64_t, 0ull>;
+template class StrictFoConsensus<core::HwPlatform, std::uint64_t, 0ull>;
+template class CasFoConsensus<sim::SimPlatform, std::uint64_t, 0ull>;
+template class StrictFoConsensus<sim::SimPlatform, std::uint64_t, 0ull>;
+
+template class FocConsensus<core::HwPlatform, CasFocPolicy<core::HwPlatform>>;
+template class FocConsensus<core::HwPlatform,
+                            StrictFocPolicy<core::HwPlatform>>;
+template class FocConsensus<sim::SimPlatform, CasFocPolicy<sim::SimPlatform>>;
+template class FocConsensus<sim::SimPlatform,
+                            StrictFocPolicy<sim::SimPlatform>>;
+
+template class FocFromEventualTm<core::HwPlatform>;
+template class FocFromEventualTm<sim::SimPlatform>;
+
+}  // namespace oftm::foc

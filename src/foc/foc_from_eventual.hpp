@@ -1,0 +1,92 @@
+// Algorithm 3 (Appendix A): fo-consensus from an *eventual ic-OFTM*.
+//
+//   upon propose(vi) do
+//     r[1..n] <- R[1..n]                       (not atomic)
+//     while true do
+//       d <- vi; k <- k+1
+//       R[i] <- R[i] + 1
+//       within transaction T_{i,k} do
+//         if V = ⊥ then V <- vi else d <- V
+//       on event C_k do return d
+//       if ∃ m≠i : r[m] ≠ R[m] then return ⊥
+//
+// The activity registers R[] convert *interval*-contention aborts into
+// observable *step* contention: the propose aborts only after seeing
+// another process's R increment — proof of a step inside its own window —
+// so fo-obstruction-freedom holds even though the underlying TM may
+// forcefully abort transactions that merely overlap a (possibly long-dead)
+// transaction of a crashed process. Combined with Lemma 8 this proves
+// Theorem 6 (every eventual ic-OFTM can implement an OFTM).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "core/platform.hpp"
+#include "core/tm.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace oftm::foc {
+
+template <typename P, int kMaxProcs = 16>
+class FocFromEventualTm {
+  template <typename T>
+  using Atomic = typename P::template Atomic<T>;
+
+ public:
+  FocFromEventualTm(core::TransactionalMemory& tm, core::TVarId v_var,
+                    int nprocs, core::Value bottom = 0)
+      : tm_(tm), v_var_(v_var), nprocs_(nprocs), bottom_(bottom) {
+    OFTM_ASSERT(nprocs >= 1 && nprocs <= kMaxProcs);
+  }
+
+  std::optional<core::Value> propose(int self, core::Value vi) {
+    OFTM_ASSERT(self >= 0 && self < nprocs_);
+    std::array<std::uint64_t, kMaxProcs> r{};
+    for (int m = 0; m < nprocs_; ++m) {
+      r[static_cast<std::size_t>(m)] =
+          regs_[static_cast<std::size_t>(m)]->load(std::memory_order_acquire);
+    }
+    for (;;) {
+      core::Value d = vi;
+      regs_[static_cast<std::size_t>(self)]->fetch_add(
+          1, std::memory_order_acq_rel);
+
+      core::TxnPtr txn = tm_.begin();
+      bool committed = false;
+      const auto cur = tm_.read(*txn, v_var_);
+      if (cur) {
+        bool ok = true;
+        if (*cur == bottom_) {
+          ok = tm_.write(*txn, v_var_, vi);
+        } else {
+          d = *cur;
+        }
+        if (ok && tm_.try_commit(*txn)) committed = true;
+      }
+      if (committed) return d;
+
+      // Transaction aborted: legal only to give up if we can *prove* step
+      // contention via someone else's activity register.
+      for (int m = 0; m < nprocs_; ++m) {
+        if (m == self) continue;
+        if (regs_[static_cast<std::size_t>(m)]->load(
+                std::memory_order_acquire) != r[static_cast<std::size_t>(m)]) {
+          return std::nullopt;
+        }
+      }
+      // No observable contention: keep restarting the computation (the
+      // paper: restarting is the application's job, which this loop is).
+    }
+  }
+
+ private:
+  core::TransactionalMemory& tm_;
+  const core::TVarId v_var_;
+  const int nprocs_;
+  const core::Value bottom_;
+  std::array<runtime::CacheAligned<Atomic<std::uint64_t>>, kMaxProcs> regs_{};
+};
+
+}  // namespace oftm::foc

@@ -1,0 +1,54 @@
+// Algorithm 1 of the paper: implementing fo-consensus from an OFTM.
+//
+//   upon propose(vi) do
+//     k <- k + 1
+//     within transaction T_{i,k} do
+//       if V = ⊥ then V <- vi else vi <- V
+//     on event C_{i,k} do return vi
+//     on event A_{i,k} do return ⊥
+//
+// "by serializability, only one committed transaction can observe that
+// V = ⊥ and set V to a non-⊥ value" — agreement and fo-validity; a
+// forcefully aborted transaction implies step contention, so aborting the
+// propose preserves fo-obstruction-freedom (Lemma 7).
+//
+// Works over *any* core::TransactionalMemory — instantiated in tests over
+// DSTM and over Algorithm 2 itself (closing the equivalence circle).
+#pragma once
+
+#include <optional>
+
+#include "core/tm.hpp"
+
+namespace oftm::foc {
+
+class FocFromTm {
+ public:
+  // `v_var` is the t-variable used as V; its initial value encodes ⊥.
+  FocFromTm(core::TransactionalMemory& tm, core::TVarId v_var,
+            core::Value bottom = 0)
+      : tm_(tm), v_var_(v_var), bottom_(bottom) {}
+
+  // Returns the decided value, or nullopt when the propose aborts (the
+  // caller may retry, per the fo-consensus contract).
+  std::optional<core::Value> propose(core::Value vi) {
+    core::TxnPtr txn = tm_.begin();  // T_{i,k}: fresh id per attempt
+    const auto cur = tm_.read(*txn, v_var_);
+    if (!cur) return std::nullopt;  // A_{i,k}
+    core::Value result = vi;
+    if (*cur == bottom_) {
+      if (!tm_.write(*txn, v_var_, vi)) return std::nullopt;  // A_{i,k}
+    } else {
+      result = *cur;
+    }
+    if (!tm_.try_commit(*txn)) return std::nullopt;  // A_{i,k}
+    return result;                                   // C_{i,k}
+  }
+
+ private:
+  core::TransactionalMemory& tm_;
+  const core::TVarId v_var_;
+  const core::Value bottom_;
+};
+
+}  // namespace oftm::foc

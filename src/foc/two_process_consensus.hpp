@@ -1,0 +1,98 @@
+// Consensus for two processes from one fo-consensus object and registers
+// (the positive half of Corollary 11, after [6]).
+//
+// Protocol (process i with input v_i):
+//   A[i] <- v_i                      (announce)
+//   loop: if D ≠ ⊥ return D
+//         r <- F.propose(i)          (propose the *identity*, not the value)
+//         if r ≠ ⊥ then D <- A[r]; return A[r]
+//         (else retry)
+//
+// Agreement: F decides one identity w once and for all; everyone exiting
+// through propose returns A[w], which w wrote before its first propose and
+// never changes. Validity: A[w] is w's input.
+//
+// Termination: every abort of F.propose implies the other process took a
+// step inside the window. With the CAS-backed object, propose never aborts
+// and the protocol is wait-free for any number of processes (CAS is
+// universal — see fo_consensus.hpp). With the strict object, termination
+// holds whenever contention is finite (a k-bounded abort adversary); the
+// valency experiments (sim/valency.*) map out exactly which abstract abort
+// semantics admit a wait-free 2-process solution and which do not — see
+// EXPERIMENTS.md E-C11 for the full discussion of this boundary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "core/platform.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace oftm::foc {
+
+template <typename P, typename FocPolicy, int kProcs = 2>
+class FocConsensus {
+  template <typename T>
+  using Atomic = typename P::template Atomic<T>;
+  // Identities proposed to F are 1..kProcs (0 is the empty sentinel).
+  using Foc = typename FocPolicy::template Object<std::uint32_t, 0u>;
+
+ public:
+  static constexpr std::uint64_t kBottom = ~std::uint64_t{0};
+
+  FocConsensus() = default;
+
+  // Blocking variant: retries propose until a decision is reached. Returns
+  // the agreed value.
+  std::uint64_t propose(int self, std::uint64_t v) {
+    OFTM_ASSERT(self >= 0 && self < kProcs);
+    OFTM_ASSERT(v != kBottom);
+    announce_[static_cast<std::size_t>(self)]->store(
+        v, std::memory_order_release);
+    typename P::Backoff backoff;
+    for (;;) {
+      const std::uint64_t d = decision_.value.load(std::memory_order_acquire);
+      if (d != kBottom) return d;
+      const auto r = foc_.propose(static_cast<std::uint32_t>(self + 1));
+      if (r.has_value()) {
+        const int winner = static_cast<int>(*r) - 1;
+        const std::uint64_t value =
+            announce_[static_cast<std::size_t>(winner)]->load(
+                std::memory_order_acquire);
+        decision_.value.store(value, std::memory_order_release);
+        return value;
+      }
+      backoff.pause();  // abort => the other process is active; retry
+    }
+  }
+
+  // One attempt (for schedule-controlled tests): nullopt == propose aborted
+  // and no decision is published yet.
+  std::optional<std::uint64_t> try_propose(int self, std::uint64_t v) {
+    announce_[static_cast<std::size_t>(self)]->store(
+        v, std::memory_order_release);
+    const std::uint64_t d = decision_.value.load(std::memory_order_acquire);
+    if (d != kBottom) return d;
+    const auto r = foc_.propose(static_cast<std::uint32_t>(self + 1));
+    if (!r.has_value()) return std::nullopt;
+    const int winner = static_cast<int>(*r) - 1;
+    const std::uint64_t value =
+        announce_[static_cast<std::size_t>(winner)]->load(
+            std::memory_order_acquire);
+    decision_.value.store(value, std::memory_order_release);
+    return value;
+  }
+
+  std::uint64_t decision() const {
+    return decision_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::array<runtime::CacheAligned<Atomic<std::uint64_t>>, kProcs> announce_{};
+  Foc foc_;
+  runtime::CacheAligned<Atomic<std::uint64_t>> decision_{kBottom};
+};
+
+}  // namespace oftm::foc

@@ -1,0 +1,14 @@
+#include "foctm/foctm.hpp"
+
+#include "sim/platform.hpp"
+
+namespace oftm::foctm {
+
+template class Foctm<core::HwPlatform, foc::CasFocPolicy<core::HwPlatform>>;
+template class Foctm<core::HwPlatform,
+                     foc::StrictFocPolicy<core::HwPlatform>>;
+template class Foctm<sim::SimPlatform, foc::CasFocPolicy<sim::SimPlatform>>;
+template class Foctm<sim::SimPlatform,
+                     foc::StrictFocPolicy<sim::SimPlatform>>;
+
+}  // namespace oftm::foctm

@@ -1,0 +1,66 @@
+// Correctness checkers for TM histories.
+//
+// Two checkers with complementary scope:
+//
+// 1. check_mvsg — multiversion-serialization-graph based, scales to the
+//    histories produced by stress runs (tens of thousands of transactions).
+//    Requires the *unique-writes* test discipline (every written value is
+//    globally unique) so reads-from edges can be inferred from values; our
+//    workload generators guarantee it. With `respect_real_time` and
+//    `include_aborted_readers` it checks the opacity graph of [15] as used
+//    in the paper's Appendix B (real-time edges + reads-from edges +
+//    anti-dependency edges, acyclicity); without them it checks plain
+//    serializability against the commit-order version order.
+//
+// 2. check_exhaustive_serializability — a direct implementation of
+//    Definition 1: search over commit-completions of the history and over
+//    all serialization orders of the committed transactions for a legal
+//    sequential equivalent. Exponential; used on the small histories the
+//    schedule explorer generates, where it is assumption-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/event.hpp"
+
+namespace oftm::history {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;
+
+  static CheckResult failure(std::string msg) {
+    return CheckResult{false, std::move(msg)};
+  }
+};
+
+struct MvsgOptions {
+  // Add real-time precedence edges (strict serializability; together with
+  // aborted readers this is the opacity check).
+  bool respect_real_time = false;
+  // Require aborted and live transactions' reads to be consistent too
+  // (opacity requirement (1): non-committed transactions observe consistent
+  // states).
+  bool include_aborted_readers = false;
+  // Value every t-variable starts with.
+  core::Value initial_value = 0;
+  // Treat commit-pending transactions as committed (they may have taken
+  // effect; Definition 1 allows any commit-completion — the conservative
+  // stress-test setup joins all workers so this is normally irrelevant).
+  bool commit_pending_as_committed = true;
+};
+
+CheckResult check_mvsg(const std::vector<TxRecord>& txns,
+                       const MvsgOptions& options = {});
+
+struct ExhaustiveOptions {
+  bool respect_real_time = false;
+  core::Value initial_value = 0;
+  std::size_t max_transactions = 12;  // hard cap: the search is factorial
+};
+
+CheckResult check_exhaustive_serializability(
+    const std::vector<TxRecord>& txns, const ExhaustiveOptions& options = {});
+
+}  // namespace oftm::history

@@ -1,0 +1,86 @@
+// High-level TM histories (Section 2.2 of the paper).
+//
+// A history is a sequence of invocation and response events of TM
+// operations. We record both raw events (for well-formedness checks and
+// pretty-printing) and a digested per-transaction form (TxRecord) that the
+// serializability/opacity checkers consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace oftm::history {
+
+enum class OpType : std::uint8_t {
+  kRead,
+  kWrite,
+  kTryCommit,
+  kTryAbort,
+};
+
+inline const char* to_string(OpType t) noexcept {
+  switch (t) {
+    case OpType::kRead: return "read";
+    case OpType::kWrite: return "write";
+    case OpType::kTryCommit: return "tryC";
+    case OpType::kTryAbort: return "tryA";
+  }
+  return "?";
+}
+
+struct Event {
+  enum class Kind : std::uint8_t { kInvoke, kResponse };
+
+  std::uint64_t seq = 0;  // global order (totally ordered per Section 2.1)
+  Kind kind = Kind::kInvoke;
+  core::TxId tx = 0;
+  int pid = -1;
+  OpType op = OpType::kRead;
+  core::TVarId tvar = core::kInvalidTVar;
+  core::Value arg = 0;     // value written (kWrite invocations)
+  core::Value result = 0;  // value read (kRead responses)
+  bool aborted = false;    // response was the abort event A_k
+};
+
+// One completed operation of a transaction.
+struct TxOp {
+  OpType op;
+  core::TVarId tvar = core::kInvalidTVar;
+  core::Value arg = 0;
+  core::Value result = 0;
+  bool aborted = false;
+  std::uint64_t inv_seq = 0;
+  std::uint64_t resp_seq = 0;
+};
+
+// Digest of one transaction in a history.
+struct TxRecord {
+  core::TxId id = 0;
+  int pid = -1;
+  std::vector<TxOp> ops;
+  core::TxStatus final_status = core::TxStatus::kActive;
+  bool requested_abort = false;  // issued tryA (not *forcefully* aborted)
+  bool commit_pending = false;   // invoked tryC, no response recorded
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+
+  bool committed() const noexcept {
+    return final_status == core::TxStatus::kCommitted;
+  }
+  bool aborted() const noexcept {
+    return final_status == core::TxStatus::kAborted;
+  }
+  // "Forcefully aborted" per the paper: aborted without having issued tryA.
+  bool forcefully_aborted() const noexcept {
+    return aborted() && !requested_abort;
+  }
+  // Real-time precedence (the paper's "Tk precedes Tm").
+  bool precedes(const TxRecord& other) const noexcept {
+    return final_status != core::TxStatus::kActive &&
+           last_seq < other.first_seq;
+  }
+};
+
+}  // namespace oftm::history

@@ -1,0 +1,216 @@
+#include "history/recorder.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "runtime/thread_registry.hpp"
+
+namespace oftm::history {
+
+std::uint64_t Recorder::record(Event e) {
+  std::scoped_lock lk(mu_);
+  e.seq = next_seq_++;
+  events_.push_back(e);
+  return e.seq;
+}
+
+std::vector<Event> Recorder::events() const {
+  std::scoped_lock lk(mu_);
+  std::vector<Event> out = events_;
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::vector<TxRecord> Recorder::transactions() const {
+  const std::vector<Event> evs = events();
+  std::map<core::TxId, TxRecord> by_tx;
+  std::map<core::TxId, Event> open_inv;  // pending invocation per tx
+
+  for (const Event& e : evs) {
+    TxRecord& rec = by_tx[e.tx];
+    if (rec.ops.empty() && rec.first_seq == 0) {
+      rec.id = e.tx;
+      rec.pid = e.pid;
+      rec.first_seq = e.seq;
+    }
+    rec.last_seq = e.seq;
+
+    if (e.kind == Event::Kind::kInvoke) {
+      open_inv[e.tx] = e;
+      if (e.op == OpType::kTryCommit) rec.commit_pending = true;
+      if (e.op == OpType::kTryAbort) rec.requested_abort = true;
+    } else {
+      auto it = open_inv.find(e.tx);
+      TxOp op;
+      op.op = e.op;
+      op.tvar = e.tvar;
+      op.result = e.result;
+      op.aborted = e.aborted;
+      op.resp_seq = e.seq;
+      if (it != open_inv.end()) {
+        op.arg = it->second.arg;
+        op.inv_seq = it->second.seq;
+        open_inv.erase(it);
+      }
+      rec.ops.push_back(op);
+      if (e.op == OpType::kTryCommit) {
+        rec.commit_pending = false;
+        rec.final_status = e.aborted ? core::TxStatus::kAborted
+                                     : core::TxStatus::kCommitted;
+      } else if (e.aborted) {
+        rec.final_status = core::TxStatus::kAborted;
+      }
+    }
+  }
+
+  std::vector<TxRecord> out;
+  out.reserve(by_tx.size());
+  for (auto& [id, rec] : by_tx) out.push_back(std::move(rec));
+  std::sort(out.begin(), out.end(), [](const TxRecord& a, const TxRecord& b) {
+    return a.first_seq < b.first_seq;
+  });
+  return out;
+}
+
+void Recorder::clear() {
+  std::scoped_lock lk(mu_);
+  events_.clear();
+  next_seq_ = 1;
+}
+
+std::string Recorder::check_well_formed() const {
+  const std::vector<Event> evs = events();
+  // Per process: events strictly alternate invoke/response and responses
+  // match the preceding invocation's (tx, op).
+  std::map<int, const Event*> pending;
+  for (const Event& e : evs) {
+    auto it = pending.find(e.pid);
+    if (e.kind == Event::Kind::kInvoke) {
+      if (it != pending.end() && it->second != nullptr) {
+        return "invocation while an operation is pending at pid " +
+               std::to_string(e.pid);
+      }
+      pending[e.pid] = &e;
+    } else {
+      if (it == pending.end() || it->second == nullptr) {
+        return "response without invocation at pid " + std::to_string(e.pid);
+      }
+      const Event& inv = *it->second;
+      if (inv.tx != e.tx || inv.op != e.op) {
+        return "response does not match invocation at pid " +
+               std::to_string(e.pid);
+      }
+      pending[e.pid] = nullptr;
+    }
+  }
+  return "";
+}
+
+std::string Recorder::format() const {
+  std::string out;
+  char line[192];
+  for (const Event& e : events()) {
+    if (e.kind == Event::Kind::kInvoke) {
+      std::snprintf(line, sizeof(line),
+                    "[%5" PRIu64 "] p%-2d T%-12" PRIx64 " inv  %-5s x%-4u"
+                    " arg=%" PRIu64 "\n",
+                    e.seq, e.pid, e.tx, to_string(e.op),
+                    e.tvar == core::kInvalidTVar ? 9999u : e.tvar, e.arg);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "[%5" PRIu64 "] p%-2d T%-12" PRIx64 " resp %-5s -> %s"
+                    " (val=%" PRIu64 ")\n",
+                    e.seq, e.pid, e.tx, to_string(e.op),
+                    e.aborted ? "ABORT" : "ok", e.result);
+    }
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RecordingTm
+
+namespace {
+int current_pid() { return runtime::ThreadRegistry::current_id(); }
+}  // namespace
+
+core::TxnPtr RecordingTm::begin() { return inner_.begin(); }
+
+std::optional<core::Value> RecordingTm::read(core::Transaction& txn,
+                                             core::TVarId x) {
+  Event inv;
+  inv.kind = Event::Kind::kInvoke;
+  inv.tx = txn.id();
+  inv.pid = current_pid();
+  inv.op = OpType::kRead;
+  inv.tvar = x;
+  recorder_.record(inv);
+
+  auto v = inner_.read(txn, x);
+
+  Event resp = inv;
+  resp.kind = Event::Kind::kResponse;
+  resp.aborted = !v.has_value();
+  resp.result = v.value_or(0);
+  recorder_.record(resp);
+  return v;
+}
+
+bool RecordingTm::write(core::Transaction& txn, core::TVarId x,
+                        core::Value v) {
+  Event inv;
+  inv.kind = Event::Kind::kInvoke;
+  inv.tx = txn.id();
+  inv.pid = current_pid();
+  inv.op = OpType::kWrite;
+  inv.tvar = x;
+  inv.arg = v;
+  recorder_.record(inv);
+
+  const bool ok = inner_.write(txn, x, v);
+
+  Event resp = inv;
+  resp.kind = Event::Kind::kResponse;
+  resp.aborted = !ok;
+  recorder_.record(resp);
+  return ok;
+}
+
+bool RecordingTm::try_commit(core::Transaction& txn) {
+  Event inv;
+  inv.kind = Event::Kind::kInvoke;
+  inv.tx = txn.id();
+  inv.pid = current_pid();
+  inv.op = OpType::kTryCommit;
+  recorder_.record(inv);
+
+  const bool ok = inner_.try_commit(txn);
+
+  Event resp = inv;
+  resp.kind = Event::Kind::kResponse;
+  resp.aborted = !ok;
+  recorder_.record(resp);
+  return ok;
+}
+
+void RecordingTm::try_abort(core::Transaction& txn) {
+  Event inv;
+  inv.kind = Event::Kind::kInvoke;
+  inv.tx = txn.id();
+  inv.pid = current_pid();
+  inv.op = OpType::kTryAbort;
+  recorder_.record(inv);
+
+  inner_.try_abort(txn);
+
+  Event resp = inv;
+  resp.kind = Event::Kind::kResponse;
+  resp.aborted = true;
+  recorder_.record(resp);
+}
+
+}  // namespace oftm::history

@@ -1,0 +1,72 @@
+// History recording: a transparent TM wrapper that logs every operation's
+// invocation and response with a globally ordered sequence number, plus the
+// digestion of raw events into per-transaction records.
+//
+// The recorder is only active in tests and checking runs; benchmark runs
+// use the backends directly (the global sequence counter is itself a shared
+// hot spot — deliberately, measurement fidelity beats speed here).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tm.hpp"
+#include "history/event.hpp"
+
+namespace oftm::history {
+
+class Recorder {
+ public:
+  // Thread-safe event append with a fresh global sequence number.
+  std::uint64_t record(Event e);
+
+  // Snapshot of all events, sorted by seq.
+  std::vector<Event> events() const;
+
+  // Digest events into per-transaction records (sorted by first_seq).
+  std::vector<TxRecord> transactions() const;
+
+  void clear();
+
+  // Well-formedness of the recorded history (Section 2.1): per process,
+  // alternating invocation/response of matching operations. Returns an
+  // empty string if well-formed, else a diagnostic.
+  std::string check_well_formed() const;
+
+  std::string format() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 1;
+};
+
+// TransactionalMemory decorator: forwards to `inner` and records a
+// well-formed history of every operation.
+class RecordingTm final : public core::TransactionalMemory {
+ public:
+  RecordingTm(core::TransactionalMemory& inner, Recorder& recorder)
+      : inner_(inner), recorder_(recorder) {}
+
+  core::TxnPtr begin() override;
+  std::optional<core::Value> read(core::Transaction& txn,
+                                  core::TVarId x) override;
+  bool write(core::Transaction& txn, core::TVarId x, core::Value v) override;
+  bool try_commit(core::Transaction& txn) override;
+  void try_abort(core::Transaction& txn) override;
+  std::size_t num_tvars() const override { return inner_.num_tvars(); }
+  core::Value read_quiescent(core::TVarId x) const override {
+    return inner_.read_quiescent(x);
+  }
+  std::string name() const override { return inner_.name() + "+rec"; }
+  runtime::TxStats stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+
+ private:
+  core::TransactionalMemory& inner_;
+  Recorder& recorder_;
+};
+
+}  // namespace oftm::history

@@ -1,0 +1,137 @@
+// Coarse: one global lock around every transaction.
+//
+// The paper's introduction motivates TM as "as easy to use as coarse-grained
+// locking"; this backend *is* coarse-grained locking behind the TM
+// interface — the zero-parallelism baseline every scalability bench is
+// anchored to. Trivially serializable (transactions are literally
+// sequential), maximally non-disjoint-access-parallel (a single base
+// object shared by everything), and as non-obstruction-free as it gets (a
+// suspended lock holder halts the world).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/tm.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace oftm::lock {
+
+template <typename P>
+class Coarse final : public core::TransactionalMemory,
+                     private core::TmStatsMixin {
+  template <typename T>
+  using Atomic = typename P::template Atomic<T>;
+
+ public:
+  class Txn final : public core::Transaction {
+   public:
+    Txn(Coarse& tm, core::TxId id) : tm_(tm), id_(id) {}
+    ~Txn() override {
+      if (status_ == core::TxStatus::kActive) tm_.release(*this);
+    }
+    core::TxStatus status() const override { return status_; }
+    core::TxId id() const override { return id_; }
+
+   private:
+    friend class Coarse;
+    struct Undo {
+      core::TVarId x;
+      core::Value old_value;
+    };
+    Coarse& tm_;
+    core::TxId id_;
+    core::TxStatus status_ = core::TxStatus::kActive;
+    std::vector<Undo> undo_;
+  };
+
+  explicit Coarse(std::size_t num_tvars) : num_tvars_(num_tvars) {
+    values_ = std::make_unique<Atomic<core::Value>[]>(num_tvars);
+  }
+
+  core::TxnPtr begin() override {
+    auto txn = std::make_unique<Txn>(*this, next_tx_id());
+    // Global TTAS lock; transactions execute one at a time.
+    typename P::Backoff backoff;
+    for (;;) {
+      bool expected = false;
+      if (lock_.value.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+        break;
+      }
+      cm_backoffs_.add();
+      backoff.pause();
+    }
+    return txn;
+  }
+
+  std::optional<core::Value> read(core::Transaction& t,
+                                  core::TVarId x) override {
+    auto& tx = txn_cast(t);
+    reads_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
+    return values_[x].load(std::memory_order_relaxed);
+  }
+
+  bool write(core::Transaction& t, core::TVarId x, core::Value v) override {
+    auto& tx = txn_cast(t);
+    writes_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    // In-place update with undo log (rolled back on abort).
+    tx.undo_.push_back({x, values_[x].load(std::memory_order_relaxed)});
+    values_[x].store(v, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool try_commit(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    tx.status_ = core::TxStatus::kCommitted;
+    release(tx);
+    commits_.add();
+    return true;
+  }
+
+  void try_abort(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return;
+    for (auto it = tx.undo_.rbegin(); it != tx.undo_.rend(); ++it) {
+      values_[it->x].store(it->old_value, std::memory_order_relaxed);
+    }
+    tx.status_ = core::TxStatus::kAborted;
+    release(tx);
+    aborts_.add();
+  }
+
+  std::size_t num_tvars() const override { return num_tvars_; }
+  core::Value read_quiescent(core::TVarId x) const override {
+    return values_[x].load(std::memory_order_acquire);
+  }
+  std::string name() const override { return "coarse"; }
+  runtime::TxStats stats() const override { return collect_stats(); }
+  void reset_stats() override { reset_collect_stats(); }
+
+ private:
+  static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  static core::TxId next_tx_id() {
+    thread_local std::uint64_t counter = 0;
+    return core::make_tx_id(P::thread_id(), ++counter);
+  }
+
+  void release(Txn&) { lock_.value.store(false, std::memory_order_release); }
+
+  const std::size_t num_tvars_;
+  std::unique_ptr<Atomic<core::Value>[]> values_;
+  runtime::CacheAligned<Atomic<bool>> lock_{false};
+};
+
+using HwCoarse = Coarse<core::HwPlatform>;
+
+}  // namespace oftm::lock

@@ -1,0 +1,15 @@
+#include "lock/coarse.hpp"
+#include "lock/tl.hpp"
+#include "lock/tl2.hpp"
+#include "sim/platform.hpp"
+
+namespace oftm::lock {
+
+template class Tl<core::HwPlatform>;
+template class Tl<sim::SimPlatform>;
+template class Tl2<core::HwPlatform>;
+template class Tl2<sim::SimPlatform>;
+template class Coarse<core::HwPlatform>;
+template class Coarse<sim::SimPlatform>;
+
+}  // namespace oftm::lock

@@ -1,0 +1,273 @@
+// TL: encounter-time two-phase-locking STM with per-t-variable versioned
+// locks and deferred (write-back) updates.
+//
+// This is the paper's canonical *strictly disjoint-access-parallel*
+// baseline: "Lock-based TM implementations, most of which use some variant
+// of the known two-phase locking protocol, are usually strictly
+// disjoint-access-parallel (e.g., TL [11])." Every base object it touches
+// (lock word + value word) belongs to exactly one t-variable, so
+// transactions on disjoint t-variable sets never conflict on a base object
+// — the DAP experiments verify this with the simulator's conflict journal.
+//
+// It is deliberately NOT obstruction-free: a writer that stalls while
+// holding encounter-time locks blocks every later conflicting transaction
+// (they spin out their patience and self-abort, forever). Figure 2's
+// scenario run on TL demonstrates exactly this contrast with DSTM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/tm.hpp"
+#include "lock/versioned_lock.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace oftm::lock {
+
+struct TlOptions {
+  // How many lock-acquisition/validation retries before a transaction
+  // gives up and aborts itself (deadlock/livelock avoidance).
+  int patience = 64;
+};
+
+template <typename P>
+class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
+  template <typename T>
+  using Atomic = typename P::template Atomic<T>;
+
+ public:
+  class Txn final : public core::Transaction {
+   public:
+    explicit Txn(Tl& tm, core::TxId id) : tm_(tm), id_(id) {}
+    ~Txn() override {
+      if (status_ == core::TxStatus::kActive) tm_.rollback(*this);
+    }
+    core::TxStatus status() const override { return status_; }
+    core::TxId id() const override { return id_; }
+
+   private:
+    friend class Tl;
+    struct ReadEntry {
+      core::TVarId x;
+      std::uint64_t version;
+    };
+    struct WriteEntry {
+      core::TVarId x;
+      std::uint64_t base_version;  // version observed when locking
+      core::Value value;
+    };
+    Tl& tm_;
+    core::TxId id_;
+    core::TxStatus status_ = core::TxStatus::kActive;
+    std::vector<ReadEntry> reads_;
+    std::vector<WriteEntry> writes_;
+  };
+
+  explicit Tl(std::size_t num_tvars, TlOptions options = {})
+      : options_(options), num_tvars_(num_tvars) {
+    slots_ = std::make_unique<Slot[]>(num_tvars);
+  }
+
+  core::TxnPtr begin() override {
+    return std::make_unique<Txn>(*this, next_tx_id());
+  }
+
+  std::optional<core::Value> read(core::Transaction& t,
+                                  core::TVarId x) override {
+    auto& tx = txn_cast(t);
+    reads_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
+
+    for (const auto& w : tx.writes_) {
+      if (w.x == x) return w.value;
+    }
+
+    typename P::Backoff backoff;
+    Slot& s = slots_[x];
+    for (int spin = 0;; ++spin) {
+      const std::uint64_t w1 = s.lock.load(std::memory_order_acquire);
+      if (!LockWord::locked(w1)) {
+        const core::Value v = s.value.load(std::memory_order_relaxed);
+        // acquire fence via re-load: value is only valid if the lock word
+        // did not move underneath us (seqlock pattern).
+        const std::uint64_t w2 = s.lock.load(std::memory_order_acquire);
+        if (w1 == w2) {
+          bool known = false;
+          for (const auto& r : tx.reads_) {
+            if (r.x == x) {
+              known = true;
+              if (r.version != LockWord::version(w1)) {
+                rollback_abort(tx);
+                return std::nullopt;
+              }
+              break;
+            }
+          }
+          if (!known) {
+            tx.reads_.push_back({x, LockWord::version(w1)});
+          }
+          if (!validate(tx)) {
+            rollback_abort(tx);
+            return std::nullopt;
+          }
+          return v;
+        }
+      }
+      if (spin >= options_.patience) {
+        // A (possibly suspended) lock holder is in the way; lock-based TMs
+        // cannot revoke it — we sacrifice ourselves. This is the
+        // non-obstruction-freedom the paper contrasts OFTMs against.
+        rollback_abort(tx);
+        return std::nullopt;
+      }
+      cm_backoffs_.add();
+      backoff.pause();
+    }
+  }
+
+  bool write(core::Transaction& t, core::TVarId x, core::Value v) override {
+    auto& tx = txn_cast(t);
+    writes_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+
+    for (auto& w : tx.writes_) {
+      if (w.x == x) {
+        w.value = v;
+        return true;
+      }
+    }
+
+    typename P::Backoff backoff;
+    Slot& s = slots_[x];
+    for (int spin = 0;; ++spin) {
+      std::uint64_t w1 = s.lock.load(std::memory_order_acquire);
+      if (!LockWord::locked(w1)) {
+        const std::uint64_t locked =
+            LockWord::pack(LockWord::version(w1), true);
+        if (s.lock.compare_exchange_strong(w1, locked,
+                                           std::memory_order_acq_rel)) {
+          // Encounter-time read validation: if we read x earlier, the
+          // version must not have moved.
+          for (const auto& r : tx.reads_) {
+            if (r.x == x && r.version != LockWord::version(w1)) {
+              s.lock.store(w1, std::memory_order_release);  // undo lock
+              rollback_abort(tx);
+              return false;
+            }
+          }
+          tx.writes_.push_back({x, LockWord::version(w1), v});
+          if (!validate(tx)) {
+            rollback_abort(tx);
+            return false;
+          }
+          return true;
+        }
+      }
+      if (spin >= options_.patience) {
+        rollback_abort(tx);
+        return false;
+      }
+      cm_backoffs_.add();
+      backoff.pause();
+    }
+  }
+
+  bool try_commit(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    if (!validate(tx)) {
+      rollback_abort(tx);
+      return false;
+    }
+    // Write back and release: bump each version (2PL shrink phase).
+    for (const auto& w : tx.writes_) {
+      Slot& s = slots_[w.x];
+      s.value.store(w.value, std::memory_order_relaxed);
+      s.lock.store(LockWord::pack(w.base_version + 1, false),
+                   std::memory_order_release);
+    }
+    tx.status_ = core::TxStatus::kCommitted;
+    commits_.add();
+    return true;
+  }
+
+  void try_abort(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return;
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();  // requested, not forceful
+  }
+
+  std::size_t num_tvars() const override { return num_tvars_; }
+
+  core::Value read_quiescent(core::TVarId x) const override {
+    return slots_[x].value.load(std::memory_order_acquire);
+  }
+
+  std::string name() const override { return "tl"; }
+  runtime::TxStats stats() const override { return collect_stats(); }
+  void reset_stats() override { reset_collect_stats(); }
+
+ private:
+  struct alignas(runtime::kCacheLineSize) Slot {
+    Atomic<std::uint64_t> lock{LockWord::pack(0, false)};
+    Atomic<core::Value> value{0};
+  };
+
+  static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  static core::TxId next_tx_id() {
+    thread_local std::uint64_t counter = 0;
+    return core::make_tx_id(P::thread_id(), ++counter);
+  }
+
+  bool validate(Txn& tx) {
+    for (const auto& r : tx.reads_) {
+      bool own = false;
+      for (const auto& w : tx.writes_) {
+        if (w.x == r.x) {
+          own = true;
+          if (w.base_version != r.version) return false;
+          break;
+        }
+      }
+      if (own) continue;
+      const std::uint64_t w = slots_[r.x].lock.load(std::memory_order_acquire);
+      if (LockWord::locked(w) || LockWord::version(w) != r.version) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Release every encounter-time lock without publishing values.
+  void rollback(Txn& tx) {
+    for (const auto& w : tx.writes_) {
+      slots_[w.x].lock.store(LockWord::pack(w.base_version, false),
+                             std::memory_order_release);
+    }
+    tx.writes_.clear();
+  }
+
+  void rollback_abort(Txn& tx) {
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+    forced_aborts_.add();
+  }
+
+  const TlOptions options_;
+  const std::size_t num_tvars_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+using HwTl = Tl<core::HwPlatform>;
+
+}  // namespace oftm::lock

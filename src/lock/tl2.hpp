@@ -1,0 +1,272 @@
+// TL2: commit-time locking with a global version clock [10].
+//
+// The paper singles this design out as the *exception* among lock-based
+// TMs: "Notable exceptions are those TMs that use global timestamps in
+// order to speed up the read validation process, e.g., TL2 [10] ... every
+// transaction has to access a common memory location to determine its
+// timestamp." — i.e., TL2 is NOT strictly disjoint-access-parallel by
+// construction (the global clock is a base object shared by all
+// transactions), but for the benign reason of a read-mostly-shared counter
+// rather than DSTM's read-write descriptor hot spots. The DAP experiments
+// report TL2's clock conflicts separately to make that distinction visible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/tm.hpp"
+#include "lock/versioned_lock.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace oftm::lock {
+
+struct Tl2Options {
+  int lock_patience = 64;  // spins per write-set lock before self-abort
+  // Read-version extension: on a stale read (version > rv), revalidate the
+  // read set against the current clock and, if every recorded version is
+  // untouched, adopt the new clock value as rv instead of aborting. The
+  // classic TL2 refinement; off by default to match the base algorithm —
+  // bench_throughput compares both.
+  bool rv_extension = false;
+};
+
+template <typename P>
+class Tl2 final : public core::TransactionalMemory,
+                  private core::TmStatsMixin {
+  template <typename T>
+  using Atomic = typename P::template Atomic<T>;
+
+ public:
+  class Txn final : public core::Transaction {
+   public:
+    Txn(Tl2& tm, core::TxId id, std::uint64_t rv) : tm_(tm), id_(id), rv_(rv) {}
+    ~Txn() override = default;
+    core::TxStatus status() const override { return status_; }
+    core::TxId id() const override { return id_; }
+
+   private:
+    friend class Tl2;
+    struct ReadEntry {
+      core::TVarId x;
+      std::uint64_t version;  // lock-word version observed at read time
+    };
+    struct WriteEntry {
+      core::TVarId x;
+      core::Value value;
+    };
+    Tl2& tm_;
+    core::TxId id_;
+    std::uint64_t rv_;  // read version (global clock at begin)
+    core::TxStatus status_ = core::TxStatus::kActive;
+    std::vector<ReadEntry> reads_;
+    std::vector<WriteEntry> writes_;
+  };
+
+  explicit Tl2(std::size_t num_tvars, Tl2Options options = {})
+      : options_(options), num_tvars_(num_tvars) {
+    slots_ = std::make_unique<Slot[]>(num_tvars);
+  }
+
+  core::TxnPtr begin() override {
+    // The shared-clock read that makes TL2 non-strictly-DAP.
+    const std::uint64_t rv = clock_.value.load(std::memory_order_acquire);
+    return std::make_unique<Txn>(*this, next_tx_id(), rv);
+  }
+
+  std::optional<core::Value> read(core::Transaction& t,
+                                  core::TVarId x) override {
+    auto& tx = txn_cast(t);
+    reads_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
+
+    for (const auto& w : tx.writes_) {
+      if (w.x == x) return w.value;
+    }
+
+    Slot& s = slots_[x];
+    for (int pass = 0; pass < 2; ++pass) {
+      const std::uint64_t w1 = s.lock.load(std::memory_order_acquire);
+      const core::Value v = s.value.load(std::memory_order_relaxed);
+      const std::uint64_t w2 = s.lock.load(std::memory_order_acquire);
+      // Valid iff stable, unlocked, and not newer than our read version.
+      if (w1 == w2 && !LockWord::locked(w1) &&
+          LockWord::version(w1) <= tx.rv_) {
+        tx.reads_.push_back({x, LockWord::version(w1)});
+        return v;
+      }
+      // Stale or unstable: try extending rv once, then give up.
+      if (pass == 0 && options_.rv_extension && try_extend(tx)) continue;
+      break;
+    }
+    abort_forced(tx);
+    return std::nullopt;
+  }
+
+  bool write(core::Transaction& t, core::TVarId x, core::Value v) override {
+    auto& tx = txn_cast(t);
+    writes_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    for (auto& w : tx.writes_) {
+      if (w.x == x) {
+        w.value = v;
+        return true;
+      }
+    }
+    tx.writes_.push_back({x, v});
+    return true;
+  }
+
+  bool try_commit(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+
+    // Read-only fast path: every read was validated against rv at read
+    // time; nothing to lock.
+    if (tx.writes_.empty()) {
+      tx.status_ = core::TxStatus::kCommitted;
+      commits_.add();
+      return true;
+    }
+
+    // Lock the write set in canonical order (deadlock avoidance), bounded
+    // spins (liveness: self-abort, as in the original).
+    std::sort(tx.writes_.begin(), tx.writes_.end(),
+              [](const auto& a, const auto& b) { return a.x < b.x; });
+    std::vector<std::uint64_t> base;
+    base.reserve(tx.writes_.size());
+    typename P::Backoff backoff;
+    for (std::size_t i = 0; i < tx.writes_.size(); ++i) {
+      Slot& s = slots_[tx.writes_[i].x];
+      int spin = 0;
+      for (;;) {
+        std::uint64_t w = s.lock.load(std::memory_order_acquire);
+        if (!LockWord::locked(w)) {
+          const std::uint64_t locked =
+              LockWord::pack(LockWord::version(w), true);
+          if (s.lock.compare_exchange_strong(w, locked,
+                                             std::memory_order_acq_rel)) {
+            base.push_back(LockWord::version(w));
+            break;
+          }
+        }
+        if (++spin > options_.lock_patience) {
+          unlock_prefix(tx, base, i);
+          abort_forced(tx);
+          return false;
+        }
+        cm_backoffs_.add();
+        backoff.pause();
+      }
+    }
+
+    // Commit timestamp from the shared clock.
+    const std::uint64_t wv =
+        clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+    // Validate the read set unless nobody could have committed in between.
+    if (tx.rv_ + 1 != wv) {
+      for (const auto& r : tx.reads_) {
+        bool own = false;
+        for (const auto& w : tx.writes_) {
+          if (w.x == r.x) {
+            own = true;
+            break;
+          }
+        }
+        const std::uint64_t w =
+            slots_[r.x].lock.load(std::memory_order_acquire);
+        if ((LockWord::locked(w) && !own) || LockWord::version(w) > tx.rv_) {
+          unlock_prefix(tx, base, tx.writes_.size());
+          abort_forced(tx);
+          return false;
+        }
+      }
+    }
+
+    // Write back and release with the commit version.
+    for (std::size_t i = 0; i < tx.writes_.size(); ++i) {
+      Slot& s = slots_[tx.writes_[i].x];
+      s.value.store(tx.writes_[i].value, std::memory_order_relaxed);
+      s.lock.store(LockWord::pack(wv, false), std::memory_order_release);
+    }
+    tx.status_ = core::TxStatus::kCommitted;
+    commits_.add();
+    return true;
+  }
+
+  void try_abort(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return;
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+  }
+
+  std::size_t num_tvars() const override { return num_tvars_; }
+  core::Value read_quiescent(core::TVarId x) const override {
+    return slots_[x].value.load(std::memory_order_acquire);
+  }
+  std::string name() const override {
+    return options_.rv_extension ? "tl2+ext" : "tl2";
+  }
+  runtime::TxStats stats() const override { return collect_stats(); }
+  void reset_stats() override { reset_collect_stats(); }
+
+ private:
+  struct alignas(runtime::kCacheLineSize) Slot {
+    Atomic<std::uint64_t> lock{LockWord::pack(0, false)};
+    Atomic<core::Value> value{0};
+  };
+
+  static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  static core::TxId next_tx_id() {
+    thread_local std::uint64_t counter = 0;
+    return core::make_tx_id(P::thread_id(), ++counter);
+  }
+
+  // rv extension: sound iff every recorded read is still current at the
+  // *new* clock value — the snapshot simply turns out to be fresher than
+  // first assumed.
+  bool try_extend(Txn& tx) {
+    const std::uint64_t new_rv = clock_.value.load(std::memory_order_acquire);
+    if (new_rv <= tx.rv_) return false;
+    for (const auto& r : tx.reads_) {
+      const std::uint64_t w = slots_[r.x].lock.load(std::memory_order_acquire);
+      if (LockWord::locked(w) || LockWord::version(w) != r.version) {
+        return false;
+      }
+    }
+    tx.rv_ = new_rv;
+    return true;
+  }
+
+  void unlock_prefix(Txn& tx, const std::vector<std::uint64_t>& base,
+                     std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      slots_[tx.writes_[i].x].lock.store(LockWord::pack(base[i], false),
+                                         std::memory_order_release);
+    }
+  }
+
+  void abort_forced(Txn& tx) {
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+    forced_aborts_.add();
+  }
+
+  const Tl2Options options_;
+  const std::size_t num_tvars_;
+  std::unique_ptr<Slot[]> slots_;
+  runtime::CacheAligned<Atomic<std::uint64_t>> clock_{0};
+};
+
+using HwTl2 = Tl2<core::HwPlatform>;
+
+}  // namespace oftm::lock

@@ -1,0 +1,27 @@
+// Per-t-variable versioned write lock, the metadata word of the TL/TL2
+// family ([11], [10] in the paper's bibliography): bit 0 = locked, bits
+// 63..1 = version, incremented on every committed write.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace oftm::lock {
+
+struct LockWord {
+  static constexpr std::uint64_t kLockedBit = 1;
+
+  static constexpr std::uint64_t pack(std::uint64_t version,
+                                      bool locked) noexcept {
+    return (version << 1) | (locked ? kLockedBit : 0);
+  }
+  static constexpr bool locked(std::uint64_t w) noexcept {
+    return (w & kLockedBit) != 0;
+  }
+  static constexpr std::uint64_t version(std::uint64_t w) noexcept {
+    return w >> 1;
+  }
+};
+
+}  // namespace oftm::lock

@@ -1,0 +1,31 @@
+// Always-on invariant checks.
+//
+// The STM algorithms in this repo are reproductions of published
+// pseudo-code; silent invariant violations would invalidate the experiments,
+// so invariant checks stay enabled in release builds (they are cheap: a
+// predicted-true branch).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oftm::runtime::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "OFTM_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace oftm::runtime::detail
+
+#define OFTM_ASSERT(expr)                                                   \
+  (__builtin_expect(static_cast<bool>(expr), 1)                             \
+       ? static_cast<void>(0)                                               \
+       : ::oftm::runtime::detail::assert_fail(#expr, __FILE__, __LINE__,    \
+                                              nullptr))
+
+#define OFTM_ASSERT_MSG(expr, msg)                                          \
+  (__builtin_expect(static_cast<bool>(expr), 1)                             \
+       ? static_cast<void>(0)                                               \
+       : ::oftm::runtime::detail::assert_fail(#expr, __FILE__, __LINE__,    \
+                                              (msg)))

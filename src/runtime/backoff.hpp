@@ -1,0 +1,52 @@
+// Bounded exponential backoff — the mechanism behind the paper's "Polite"
+// contention management ("A contention manager might tell Tk to back off for
+// some fixed time (maybe random) to give Ti a chance", Section 1).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/xorshift.hpp"
+
+namespace oftm::runtime {
+
+// CPU-relax without yielding the time slice.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Randomized truncated exponential backoff.
+//
+// Spin counts are randomized (uniform in [0, limit)) to break the lock-step
+// convoys that plain doubling produces, then the limit doubles up to
+// max_spins. `reset()` is called after a successful operation.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(std::uint32_t min_spins = 16,
+                              std::uint32_t max_spins = 1u << 14) noexcept
+      : min_spins_(min_spins), max_spins_(max_spins), limit_(min_spins) {}
+
+  void pause() noexcept {
+    const std::uint32_t spins =
+        static_cast<std::uint32_t>(rng_.next_range(limit_)) + 1;
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_pause();
+    if (limit_ < max_spins_) limit_ *= 2;
+  }
+
+  void reset() noexcept { limit_ = min_spins_; }
+
+  std::uint32_t current_limit() const noexcept { return limit_; }
+
+ private:
+  std::uint32_t min_spins_;
+  std::uint32_t max_spins_;
+  std::uint32_t limit_;
+  Xoshiro256 rng_{Xoshiro256::from_thread()};
+};
+
+}  // namespace oftm::runtime

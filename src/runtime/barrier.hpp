@@ -1,0 +1,36 @@
+// Sense-reversing spinning barrier for benchmark phase alignment.
+//
+// std::barrier parks threads in futexes; for throughput measurements we want
+// every worker spinning hot at the starting line so the measured interval
+// excludes wakeup latency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/backoff.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace oftm::runtime {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties) noexcept : parties_(parties) {}
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_->load(std::memory_order_relaxed);
+    if (pending_->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pending_->store(parties_, std::memory_order_relaxed);
+      sense_->store(my_sense, std::memory_order_release);  // open the gate
+    } else {
+      while (sense_->load(std::memory_order_acquire) != my_sense) cpu_pause();
+    }
+  }
+
+ private:
+  const std::uint32_t parties_;
+  CacheAligned<std::atomic<std::uint32_t>> pending_{parties_};
+  CacheAligned<std::atomic<bool>> sense_{false};
+};
+
+}  // namespace oftm::runtime

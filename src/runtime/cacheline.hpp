@@ -1,0 +1,50 @@
+// Cache-line geometry and padding helpers.
+//
+// Every mutable shared word in the lock-free paths of this library is
+// cache-line isolated through these wrappers: the paper's Section 5 is all
+// about artificial sharing of memory locations ("hot spots"), so the
+// *measurement* side of this repo must not introduce accidental false
+// sharing of its own.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace oftm::runtime {
+
+// Destructive interference size. We hard-code 64 rather than using
+// std::hardware_destructive_interference_size because the latter is an
+// ABI-variance trap (GCC warns on use in headers) and every x86-64 and most
+// AArch64 parts we target use 64-byte lines.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A value of type T alone on its own cache line(s).
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value;
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(CacheAligned<char>) == kCacheLineSize);
+static_assert(sizeof(CacheAligned<char>) == kCacheLineSize);
+
+// Explicit trailing padding for structs that want to occupy a whole line
+// without alignas on the struct itself (useful inside arrays of mixed
+// members).
+template <std::size_t Used>
+struct CachePad {
+  static_assert(Used <= kCacheLineSize, "member does not fit in one line");
+  char pad[kCacheLineSize - Used];
+};
+
+}  // namespace oftm::runtime

@@ -1,0 +1,45 @@
+// Test-and-test-and-set spin lock with randomized backoff.
+//
+// Used only by the *lock-based baselines* (TL / TL2 / Coarse) — never by the
+// obstruction-free backends, whose whole point is to avoid blocking. Meets
+// the BasicLockable/Lockable requirements so std::scoped_lock works (Core
+// Guidelines CP.20: RAII, never plain lock()/unlock()).
+#pragma once
+
+#include <atomic>
+
+#include "runtime/backoff.hpp"
+
+namespace oftm::runtime {
+
+class SpinLock {
+ public:
+  void lock() noexcept {
+    ExponentialBackoff bo;
+    for (;;) {
+      if (try_lock()) return;
+      // Test before TAS to spin on a shared (read-only) cache line.
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    // acquire on success: the critical section must not float above.
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept {
+    // release: writes in the critical section become visible to the next
+    // owner's acquire.
+    locked_.store(false, std::memory_order_release);
+  }
+
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace oftm::runtime

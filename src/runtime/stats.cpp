@@ -1,0 +1,47 @@
+#include "runtime/stats.hpp"
+
+#include <cstdio>
+
+namespace oftm::runtime {
+
+std::uint64_t Log2Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return max_;
+}
+
+std::string Log2Histogram::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50<=%llu p99<=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(quantile(0.50)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+std::string TxStats::to_string() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "commits=%llu aborts=%llu (forced=%llu, ratio=%.3f) reads=%llu "
+      "writes=%llu backoffs=%llu kills=%llu",
+      static_cast<unsigned long long>(commits),
+      static_cast<unsigned long long>(aborts),
+      static_cast<unsigned long long>(forced_aborts), abort_ratio(),
+      static_cast<unsigned long long>(reads),
+      static_cast<unsigned long long>(writes),
+      static_cast<unsigned long long>(cm_backoffs),
+      static_cast<unsigned long long>(victim_kills));
+  return buf;
+}
+
+}  // namespace oftm::runtime

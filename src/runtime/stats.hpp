@@ -1,0 +1,114 @@
+// Low-overhead measurement primitives for the benchmark harness.
+//
+// Counters are striped per thread (one cache line each) so that counting
+// commits/aborts does not itself create the shared hot spots this repo
+// exists to measure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace oftm::runtime {
+
+// Per-thread striped monotonic counter.
+class StripedCounter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[ThreadRegistry::current_id()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t read() const noexcept {
+    std::uint64_t sum = 0;
+    const int hw = ThreadRegistry::high_watermark();
+    for (int i = 0; i < hw; ++i) {
+      sum += cells_[i].value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Cell cells_[ThreadRegistry::kMaxThreads];
+};
+
+// Log2-bucketed latency histogram (single-threaded accumulation; merge
+// across threads with operator+=).
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t v) noexcept {
+    const int b = v == 0 ? 0 : 64 - __builtin_clzll(v);
+    ++buckets_[b];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  Log2Histogram& operator+=(const Log2Histogram& o) noexcept {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    return *this;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+  // Upper bound of the bucket containing quantile q (0 < q <= 1).
+  std::uint64_t quantile(double q) const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// Aggregated per-run STM statistics, merged across worker threads.
+struct TxStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;           // application-visible abort events
+  std::uint64_t forced_aborts = 0;    // aborts not requested via tryA
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t cm_backoffs = 0;      // contention-manager pauses
+  std::uint64_t victim_kills = 0;     // times we aborted somebody else
+
+  TxStats& operator+=(const TxStats& o) noexcept {
+    commits += o.commits;
+    aborts += o.aborts;
+    forced_aborts += o.forced_aborts;
+    reads += o.reads;
+    writes += o.writes;
+    cm_backoffs += o.cm_backoffs;
+    victim_kills += o.victim_kills;
+    return *this;
+  }
+
+  double abort_ratio() const noexcept {
+    const double total = static_cast<double>(commits + aborts);
+    return total == 0 ? 0.0 : static_cast<double>(aborts) / total;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace oftm::runtime

@@ -1,0 +1,81 @@
+#include "runtime/thread_registry.hpp"
+
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace oftm::runtime {
+namespace {
+
+struct Slots {
+  // One atomic flag per slot, cache-line isolated: registration is rare but
+  // live_threads() scans are not, and a scan must not bounce writer lines.
+  CacheAligned<std::atomic<bool>> in_use[ThreadRegistry::kMaxThreads];
+  std::atomic<int> high_watermark{0};
+};
+
+Slots& slots() {
+  static Slots s;  // immortal: threads may deregister during static dtors
+  return s;
+}
+
+// RAII slot holder: the destructor (thread exit) recycles the slot.
+struct SlotHolder {
+  int id = -1;
+
+  SlotHolder() {
+    Slots& s = slots();
+    for (int i = 0; i < ThreadRegistry::kMaxThreads; ++i) {
+      bool expected = false;
+      // acquire/release on the flag: pairs a releasing slot with its next
+      // owner so per-slot consumer state (e.g. epoch retire lists) is safe
+      // to reuse.
+      if (s.in_use[i]->compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+        id = i;
+        int hw = s.high_watermark.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !s.high_watermark.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+    OFTM_ASSERT_MSG(false, "ThreadRegistry slot exhaustion");
+  }
+
+  ~SlotHolder() {
+    if (id >= 0) slots().in_use[id]->store(false, std::memory_order_release);
+  }
+};
+
+SlotHolder& holder() {
+  thread_local SlotHolder h;
+  return h;
+}
+
+thread_local bool tls_registered = false;
+
+}  // namespace
+
+int ThreadRegistry::current_id() {
+  SlotHolder& h = holder();
+  tls_registered = true;
+  return h.id;
+}
+
+bool ThreadRegistry::is_registered() noexcept { return tls_registered; }
+
+int ThreadRegistry::live_threads() noexcept {
+  Slots& s = slots();
+  int n = 0;
+  const int hw = s.high_watermark.load(std::memory_order_acquire);
+  for (int i = 0; i < hw; ++i) {
+    if (s.in_use[i]->load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+int ThreadRegistry::high_watermark() noexcept {
+  return slots().high_watermark.load(std::memory_order_acquire);
+}
+
+}  // namespace oftm::runtime

@@ -1,0 +1,47 @@
+#include "runtime/topology.hpp"
+
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace oftm::runtime {
+
+int available_cpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool pin_current_thread(int logical_index) {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+  }
+  if (cpus.empty()) return false;
+  cpu_set_t target;
+  CPU_ZERO(&target);
+  CPU_SET(cpus[static_cast<std::size_t>(logical_index) % cpus.size()],
+          &target);
+  return pthread_setaffinity_np(pthread_self(), sizeof(target), &target) == 0;
+#else
+  (void)logical_index;
+  return false;
+#endif
+}
+
+}  // namespace oftm::runtime

@@ -1,0 +1,13 @@
+// CPU topology helpers for benchmark thread placement.
+#pragma once
+
+namespace oftm::runtime {
+
+// Number of CPUs available to this process.
+int available_cpus();
+
+// Pin the calling thread to a CPU (round-robin over the affinity mask).
+// Returns false if pinning is unsupported/failed; benches then run unpinned.
+bool pin_current_thread(int logical_index);
+
+}  // namespace oftm::runtime

@@ -1,0 +1,85 @@
+// Small fast PRNGs for workloads and backoff.
+//
+// We do not use <random> engines on the hot paths: mt19937_64 is ~2.5 KiB of
+// state per thread and its per-call cost shows up in STM microbenchmarks.
+// Xoshiro256** is the standard choice for simulation workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace oftm::runtime {
+
+// SplitMix64: used to seed the main generator (recommended by the xoshiro
+// authors) and as a cheap stateless hash.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// One-shot mixing function (stateless form of SplitMix64).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Xoshiro256** by Blackman & Vigna.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  // Seeded from the address of a thread-local, which is distinct per thread.
+  static Xoshiro256 from_thread() noexcept {
+    thread_local char anchor;
+    return Xoshiro256(reinterpret_cast<std::uint64_t>(&anchor) ^
+                      0x6a09e667f3bcc908ULL);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). Lemire's multiply-shift reduction (no modulo); the
+  // slight bias (< 2^-64 * n) is irrelevant for workloads.
+  constexpr std::uint64_t next_range(std::uint64_t n) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace oftm::runtime

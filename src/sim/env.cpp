@@ -1,0 +1,308 @@
+#include "sim/env.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "runtime/assert.hpp"
+#include "runtime/xorshift.hpp"
+
+namespace oftm::sim {
+namespace {
+
+struct TlsCtx {
+  Env* env = nullptr;
+  int pid = -1;
+};
+
+thread_local TlsCtx tls_ctx;
+
+}  // namespace
+
+Env::Env(int nprocs) {
+  OFTM_ASSERT(nprocs >= 1);
+  tasks_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    tasks_.push_back(std::make_unique<Task>());
+  }
+}
+
+Env::~Env() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    teardown_ = true;
+    for (auto& t : tasks_) {
+      if (t->phase == Phase::kParked || t->phase == Phase::kCrashed) {
+        t->granted = true;
+        t->cv.notify_all();
+      }
+    }
+  }
+  for (auto& t : tasks_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+  // Deferred frees may enqueue more deferred frees (e.g. a locator's
+  // destructor retiring its transaction descriptor); loop to a fixed point.
+  while (!deferred_.empty()) {
+    auto batch = std::move(deferred_);
+    deferred_.clear();
+    for (auto& [p, del] : batch) del(p);
+  }
+}
+
+void Env::set_body(int pid, std::function<void()> body) {
+  OFTM_ASSERT(!started_);
+  OFTM_ASSERT(pid >= 0 && pid < nprocs());
+  tasks_[static_cast<std::size_t>(pid)]->body = std::move(body);
+}
+
+void Env::task_main(int pid) {
+  tls_ctx.env = this;
+  tls_ctx.pid = pid;
+  Task& t = *tasks_[static_cast<std::size_t>(pid)];
+  {
+    // Park at the entry gate; start() grants once so the local preamble up
+    // to the first shared access runs synchronously inside start().
+    std::unique_lock<std::mutex> lk(mu_);
+    t.phase = Phase::kParked;
+    controller_cv_.notify_all();
+    t.cv.wait(lk, [&] { return t.granted; });
+    t.granted = false;
+    if (teardown_) {
+      t.phase = Phase::kDone;
+      controller_cv_.notify_all();
+      return;
+    }
+    t.phase = Phase::kRunning;
+  }
+  try {
+    if (t.body) t.body();
+  } catch (const CrashUnwind&) {
+    // expected unwind path for crashed tasks at teardown
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    t.phase = Phase::kDone;
+    controller_cv_.notify_all();
+  }
+}
+
+void Env::start() {
+  OFTM_ASSERT(!started_);
+  started_ = true;
+  for (int pid = 0; pid < nprocs(); ++pid) {
+    Task& t = *tasks_[static_cast<std::size_t>(pid)];
+    t.thread = std::thread([this, pid] { task_main(pid); });
+    // Wait for entry park, then run the preamble up to the first access.
+    std::unique_lock<std::mutex> lk(mu_);
+    controller_cv_.wait(lk, [&] { return t.phase == Phase::kParked; });
+    t.granted = true;
+    t.phase = Phase::kRunning;
+    t.cv.notify_all();
+    controller_cv_.wait(lk, [&] { return t.phase != Phase::kRunning; });
+  }
+}
+
+bool Env::step_locked(std::unique_lock<std::mutex>& lk, int pid) {
+  Task& t = *tasks_[static_cast<std::size_t>(pid)];
+  if (t.phase != Phase::kParked) return false;
+  t.granted = true;
+  t.phase = Phase::kRunning;
+  t.cv.notify_all();
+  controller_cv_.wait(lk, [&] { return t.phase != Phase::kRunning; });
+  return true;
+}
+
+bool Env::step(int pid) {
+  OFTM_ASSERT(pid >= 0 && pid < nprocs());
+  std::unique_lock<std::mutex> lk(mu_);
+  return step_locked(lk, pid);
+}
+
+bool Env::runnable(int pid) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return tasks_[static_cast<std::size_t>(pid)]->phase == Phase::kParked;
+}
+
+std::vector<int> Env::runnable_pids() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<int> out;
+  for (int i = 0; i < nprocs(); ++i) {
+    if (tasks_[static_cast<std::size_t>(i)]->phase == Phase::kParked) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool Env::all_done() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (const auto& t : tasks_) {
+    if (t->phase != Phase::kDone && t->phase != Phase::kCrashed) return false;
+  }
+  return true;
+}
+
+bool Env::done(int pid) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return tasks_[static_cast<std::size_t>(pid)]->phase == Phase::kDone;
+}
+
+void Env::crash(int pid) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Task& t = *tasks_[static_cast<std::size_t>(pid)];
+  OFTM_ASSERT_MSG(t.phase != Phase::kRunning,
+                  "crash() must be called between steps");
+  if (t.phase == Phase::kParked) t.phase = Phase::kCrashed;
+}
+
+bool Env::crashed(int pid) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return tasks_[static_cast<std::size_t>(pid)]->phase == Phase::kCrashed;
+}
+
+std::uint64_t Env::run_round_robin(std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (steps < max_steps && !all_done()) {
+    bool any = false;
+    for (int pid = 0; pid < nprocs() && steps < max_steps; ++pid) {
+      if (step(pid)) {
+        ++steps;
+        any = true;
+      }
+    }
+    if (!any) break;  // everything done or crashed
+  }
+  return steps;
+}
+
+std::uint64_t Env::run_random(std::uint64_t seed, std::uint64_t max_steps) {
+  runtime::Xoshiro256 rng(seed);
+  std::uint64_t steps = 0;
+  while (steps < max_steps) {
+    const std::vector<int> r = runnable_pids();
+    if (r.empty()) break;
+    const int pid = r[rng.next_range(r.size())];
+    if (step(pid)) ++steps;
+  }
+  return steps;
+}
+
+std::uint64_t Env::run_schedule(std::span<const int> schedule) {
+  std::uint64_t steps = 0;
+  for (int pid : schedule) {
+    if (pid >= 0 && pid < nprocs() && step(pid)) ++steps;
+  }
+  return steps;
+}
+
+std::uint64_t Env::run_solo(int pid, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (steps < max_steps && step(pid)) ++steps;
+  return steps;
+}
+
+Env* Env::current() noexcept { return tls_ctx.env; }
+int Env::current_pid() noexcept { return tls_ctx.pid; }
+
+void Env::access_gate(Step s) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (teardown_) return;  // raw access during unwind; not a step
+  Task& t = *tasks_[static_cast<std::size_t>(tls_ctx.pid)];
+  t.phase = Phase::kParked;
+  controller_cv_.notify_all();
+  t.cv.wait(lk, [&] { return t.granted; });
+  t.granted = false;
+  if (teardown_) throw CrashUnwind{};
+  t.phase = Phase::kRunning;
+  s.seq = next_seq_++;
+  s.pid = tls_ctx.pid;
+  s.label = t.label;
+  trace_.push_back(s);
+}
+
+void Env::patch_result(std::uint64_t result) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (teardown_ || trace_.empty()) return;
+  trace_.back().result = result;
+}
+
+void Env::local_yield() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (teardown_) return;
+  Task& t = *tasks_[static_cast<std::size_t>(tls_ctx.pid)];
+  t.phase = Phase::kParked;
+  controller_cv_.notify_all();
+  t.cv.wait(lk, [&] { return t.granted; });
+  t.granted = false;
+  if (teardown_) throw CrashUnwind{};
+  t.phase = Phase::kRunning;
+}
+
+void Env::set_label(std::uint64_t label) {
+  std::unique_lock<std::mutex> lk(mu_);
+  tasks_[static_cast<std::size_t>(tls_ctx.pid)]->label = label;
+}
+
+std::uint64_t Env::label_of(int pid) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return tasks_[static_cast<std::size_t>(pid)]->label;
+}
+
+void Env::marker(const char* note) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (teardown_) return;
+  Step s;
+  s.kind = Step::Kind::kMarker;
+  s.seq = next_seq_++;
+  s.pid = tls_ctx.env == this ? tls_ctx.pid : -1;
+  s.label = s.pid >= 0 ? tasks_[static_cast<std::size_t>(s.pid)]->label : 0;
+  s.note = note;
+  trace_.push_back(s);
+}
+
+void Env::name_object(const void* obj, std::string name) {
+  std::unique_lock<std::mutex> lk(mu_);
+  object_names_[obj] = std::move(name);
+}
+
+std::string Env::object_name(const void* obj) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = object_names_.find(obj);
+  if (it != object_names_.end()) return it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "obj@%p", obj);
+  return buf;
+}
+
+std::string Env::format_trace() const {
+  std::string out;
+  // Copy under lock, format without (object_name relocks).
+  std::vector<Step> steps;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    steps = trace_;
+  }
+  char line[256];
+  for (const Step& s : steps) {
+    if (s.kind == Step::Kind::kMarker) {
+      std::snprintf(line, sizeof(line), "[%4u] p%d  -- %s (label=%" PRIu64
+                    ")\n",
+                    s.seq, s.pid, s.note ? s.note : "", s.label);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "[%4u] p%d  %-5s %-24s arg=%" PRIu64 " res=%" PRIu64
+                    " label=%" PRIu64 "\n",
+                    s.seq, s.pid, to_string(s.kind),
+                    object_name(s.obj).c_str(), s.arg, s.result, s.label);
+    }
+    out += line;
+  }
+  return out;
+}
+
+void Env::defer_free(void* p, void (*deleter)(void*)) {
+  std::unique_lock<std::mutex> lk(mu_);
+  deferred_.emplace_back(p, deleter);
+}
+
+}  // namespace oftm::sim

@@ -1,0 +1,154 @@
+// The deterministic execution environment: n simulated processes in
+// lockstep, scheduled one step at a time by a controller (the test/bench
+// thread). This realizes the paper's asynchronous shared-memory model
+// (Section 2.1) with full adversarial control:
+//
+//   * exactly one process runs between two scheduling decisions;
+//   * every access to a simulated base object is one *step*, logged into a
+//     global low-level history (sim/step.hpp);
+//   * a crashed process takes no further steps, ever (crash());
+//   * schedules are replayable, enabling the exhaustive explorer.
+//
+// Mechanics: each simulated process is a real thread parked on a
+// grant/park handshake. Access to simulated objects is race-free because
+// only the granted thread executes between handshakes and the handshake
+// mutex carries the happens-before edges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sim/step.hpp"
+
+namespace oftm::sim {
+
+class Env {
+ public:
+  explicit Env(int nprocs);
+  ~Env();
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  int nprocs() const noexcept { return static_cast<int>(tasks_.size()); }
+
+  // ---- Setup (before start) -------------------------------------------
+  void set_body(int pid, std::function<void()> body);
+
+  // Launch all process threads; each runs its local preamble up to its
+  // first shared access and parks there.
+  void start();
+
+  // ---- Scheduling (controller side) ------------------------------------
+  // Grant one step to pid. Returns false if pid is not currently steppable
+  // (done, crashed, or blocked forever).
+  bool step(int pid);
+
+  bool runnable(int pid) const;
+  std::vector<int> runnable_pids() const;
+  bool all_done() const;
+  bool done(int pid) const;
+
+  // Crash pid: it is never scheduled again (its thread is unwound silently
+  // at env destruction).
+  void crash(int pid);
+  bool crashed(int pid) const;
+
+  // Convenience drivers. Each returns the number of steps granted.
+  std::uint64_t run_round_robin(std::uint64_t max_steps = ~std::uint64_t{0});
+  std::uint64_t run_random(std::uint64_t seed,
+                           std::uint64_t max_steps = ~std::uint64_t{0});
+  // Follow `schedule` (skipping non-runnable pids), then stop.
+  std::uint64_t run_schedule(std::span<const int> schedule);
+  // Run pid alone until it completes (or max). The paper's
+  // "step-contention-free" executions.
+  std::uint64_t run_solo(int pid, std::uint64_t max_steps = ~std::uint64_t{0});
+
+  // ---- Task side (called from simulated-process code) ------------------
+  static Env* current() noexcept;       // null outside simulated processes
+  static int current_pid() noexcept;    // -1 outside
+
+  // Park until granted; then the caller performs its shared access. The
+  // passed step (sans result) is appended to the trace; patch_result fills
+  // in the outcome afterwards.
+  void access_gate(Step s);
+  void patch_result(std::uint64_t result);
+
+  // Scheduling point without shared access (backoff/pause).
+  void local_yield();
+
+  // Annotate subsequent steps of the calling process (e.g. transaction id).
+  void set_label(std::uint64_t label);
+  std::uint64_t label_of(int pid) const;
+
+  // Record a high-level event marker (no scheduling, no shared access).
+  void marker(const char* note);
+
+  // ---- Trace ------------------------------------------------------------
+  const std::vector<Step>& trace() const noexcept { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  void name_object(const void* obj, std::string name);
+  std::string object_name(const void* obj) const;
+  std::string format_trace() const;
+
+  // ---- Deferred reclamation --------------------------------------------
+  // Simulated processes may hold pointers across yields, so frees are
+  // deferred to env destruction (runs are finite by construction).
+  void defer_free(void* p, void (*deleter)(void*));
+
+  template <typename T>
+  void defer_delete(T* p) {
+    defer_free(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // True while the env is unwinding crashed/unfinished tasks: simulated
+  // accesses become raw (no parking, no logging).
+  bool tearing_down() const noexcept { return teardown_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kNotStarted,
+    kParked,    // waiting for a grant inside access_gate/local_yield
+    kRunning,   // has the floor
+    kDone,      // body returned
+    kCrashed,   // crash() called; thread still parked until teardown
+  };
+
+  struct Task {
+    std::function<void()> body;
+    std::thread thread;
+    Phase phase = Phase::kNotStarted;
+    bool granted = false;
+    std::uint64_t label = 0;
+    std::condition_variable cv;
+  };
+
+  void task_main(int pid);
+  bool step_locked(std::unique_lock<std::mutex>& lk, int pid);
+
+  mutable std::mutex mu_;
+  std::condition_variable controller_cv_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Step> trace_;
+  std::map<const void*, std::string> object_names_;
+  std::vector<std::pair<void*, void (*)(void*)>> deferred_;
+  std::uint32_t next_seq_ = 0;
+  bool started_ = false;
+  bool teardown_ = false;
+};
+
+// Internal exception used to unwind crashed tasks at teardown. Task bodies
+// must let it propagate (catch(...) blocks in simulated code should rethrow).
+struct CrashUnwind {};
+
+}  // namespace oftm::sim

@@ -1,0 +1,145 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "runtime/assert.hpp"
+
+namespace oftm::sim {
+namespace {
+
+// One scheduling decision: the candidate pids in exploration order and the
+// index (into `order`) that was taken.
+struct ChoicePoint {
+  std::vector<int> order;
+  std::size_t taken = 0;
+  int preemptions_before = 0;  // preemptions on the path up to this point
+};
+
+// Exploration order for a decision: continue the previously running pid if
+// possible (fewest preemptions first), then the rest ascending.
+std::vector<int> make_order(const std::vector<int>& runnable, int prev_pid) {
+  std::vector<int> order;
+  order.reserve(runnable.size());
+  const bool has_prev =
+      prev_pid >= 0 && std::find(runnable.begin(), runnable.end(),
+                                 prev_pid) != runnable.end();
+  if (has_prev) order.push_back(prev_pid);
+  for (int pid : runnable) {
+    if (!has_prev || pid != prev_pid) order.push_back(pid);
+  }
+  return order;
+}
+
+bool is_preemption(const std::vector<int>& runnable, int prev_pid,
+                   int chosen) {
+  if (prev_pid < 0 || chosen == prev_pid) return false;
+  return std::find(runnable.begin(), runnable.end(), prev_pid) !=
+         runnable.end();
+}
+
+}  // namespace
+
+ExplorerResult explore(int nprocs, const SetupFn& setup,
+                       const ExplorerOptions& options) {
+  ExplorerResult result;
+  // Forced prefix of decision indices (into each point's `order`).
+  std::vector<std::size_t> forced;
+
+  for (;;) {
+    if (result.executions >= options.max_executions) {
+      result.exhausted = false;
+      return result;
+    }
+
+    auto env = std::make_unique<Env>(nprocs);
+    auto checker = setup(*env);
+    env->start();
+
+    std::vector<ChoicePoint> path;
+    std::vector<int> schedule;
+    int prev_pid = -1;
+    int preemptions = 0;
+    bool truncated = false;
+
+    for (;;) {
+      std::vector<int> runnable = env->runnable_pids();
+      if (runnable.empty()) break;
+      if (schedule.size() >=
+          static_cast<std::size_t>(options.max_steps_per_run)) {
+        truncated = true;
+        break;
+      }
+
+      ChoicePoint cp;
+      cp.order = make_order(runnable, prev_pid);
+      cp.preemptions_before = preemptions;
+      if (path.size() < forced.size()) {
+        cp.taken = forced[path.size()];
+        OFTM_ASSERT_MSG(cp.taken < cp.order.size(),
+                        "nondeterministic program under replay");
+      } else {
+        cp.taken = 0;
+      }
+      const int chosen = cp.order[cp.taken];
+      if (is_preemption(runnable, prev_pid, chosen)) ++preemptions;
+      path.push_back(cp);
+      schedule.push_back(chosen);
+      const bool ok = env->step(chosen);
+      OFTM_ASSERT(ok);
+      prev_pid = chosen;
+    }
+
+    ++result.executions;
+
+    std::string failure;
+    if (truncated) {
+      failure = "execution exceeded max_steps_per_run (possible livelock)";
+    } else {
+      failure = checker();
+    }
+    if (!failure.empty()) {
+      result.violation_found = true;
+      result.violation = std::move(failure);
+      result.violating_schedule = std::move(schedule);
+      env.reset();
+      return result;
+    }
+    env.reset();  // join simulated threads before the next run
+
+    // Backtrack: deepest choice point with an unexplored alternative that
+    // respects the preemption bound.
+    bool advanced = false;
+    while (!path.empty()) {
+      ChoicePoint& cp = path.back();
+      std::size_t next = cp.taken + 1;
+      while (next < cp.order.size()) {
+        // Alternatives beyond index 0 switch away from the previous pid iff
+        // order[0] was the previous pid; approximate the preemption count
+        // by charging one preemption for any non-first alternative.
+        const int alt_preempts = cp.preemptions_before + (next > 0 ? 1 : 0);
+        if (options.preemption_bound >= 0 &&
+            alt_preempts > options.preemption_bound) {
+          ++next;
+          continue;
+        }
+        break;
+      }
+      if (next < cp.order.size()) {
+        cp.taken = next;
+        forced.clear();
+        forced.reserve(path.size());
+        for (const ChoicePoint& p : path) forced.push_back(p.taken);
+        advanced = true;
+        break;
+      }
+      path.pop_back();
+    }
+    if (!advanced) {
+      result.exhausted = true;
+      return result;
+    }
+  }
+}
+
+}  // namespace oftm::sim

@@ -1,0 +1,50 @@
+// Stateless exhaustive schedule exploration (CHESS-style).
+//
+// Re-runs a deterministic simulated program under every schedule (up to
+// configurable bounds), checking a user property after each complete
+// execution. Used to model-check the STM backends' serializability /
+// opacity / obstruction-freedom on small scenarios, where "small" still
+// means thousands of distinct interleavings.
+//
+// Requirements on the program: deterministic given the schedule (no
+// randomness, no wall-clock time) — all backends in this repo satisfy this
+// when driven with deterministic contention managers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/env.hpp"
+
+namespace oftm::sim {
+
+struct ExplorerOptions {
+  // Stop one execution after this many scheduled steps (runaway guard).
+  std::uint64_t max_steps_per_run = 20000;
+  // Stop exploring after this many complete executions.
+  std::uint64_t max_executions = 50000;
+  // Iterative context bounding: schedules with more than this many
+  // preemptions (switching away from a still-runnable process) are pruned.
+  // -1 = unbounded (full DFS).
+  int preemption_bound = -1;
+};
+
+struct ExplorerResult {
+  std::uint64_t executions = 0;
+  bool exhausted = false;       // true if the whole (bounded) space was covered
+  bool violation_found = false;
+  std::string violation;        // first property failure message
+  std::vector<int> violating_schedule;
+};
+
+// `setup` populates a fresh Env (set_body for each pid) and returns the
+// property checker to run after the execution completes; the checker
+// returns an empty string on success or a diagnostic on failure.
+using SetupFn = std::function<std::function<std::string()>(Env&)>;
+
+ExplorerResult explore(int nprocs, const SetupFn& setup,
+                       const ExplorerOptions& options = {});
+
+}  // namespace oftm::sim

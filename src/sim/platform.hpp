@@ -1,0 +1,68 @@
+// SimPlatform: instantiates the STM backends over simulated base objects.
+// See core/platform.hpp for the policy contract.
+#pragma once
+
+#include "sim/env.hpp"
+#include "sim/sim_atomic.hpp"
+
+namespace oftm::sim {
+
+struct SimReclaimer {
+  // Epochs are unnecessary under the lockstep scheduler; lifetimes extend to
+  // env teardown instead (runs are finite).
+  struct Guard {
+    Guard() noexcept = default;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+  };
+
+  template <typename T>
+  static void retire(T* p) {
+    if (Env* env = Env::current()) {
+      env->defer_delete(p);
+    } else {
+      delete p;
+    }
+  }
+};
+
+// Deterministic "backoff": a plain scheduling point. Keeps simulated
+// executions a pure function of the schedule (no RNG), which the explorer
+// depends on.
+struct SimBackoff {
+  void pause() {
+    if (Env* env = Env::current(); env && !env->tearing_down()) {
+      env->local_yield();
+    }
+  }
+  void reset() noexcept {}
+};
+
+struct SimPlatform {
+  template <typename T>
+  using Atomic = SimAtomic<T>;
+
+  using Reclaimer = SimReclaimer;
+
+  using Backoff = SimBackoff;
+
+  // Backoff inside a simulation must cede the floor, or the lockstep
+  // scheduler would spin forever granting the waiter.
+  static void pause() {
+    if (Env* env = Env::current(); env && !env->tearing_down()) {
+      env->local_yield();
+    }
+  }
+
+  // Simulated process id, not the host-thread id: contention managers and
+  // per-thread tables inside the backends must be indexed by the paper's
+  // process identity.
+  static int thread_id() {
+    const int pid = Env::current_pid();
+    return pid >= 0 ? pid : 0;
+  }
+
+  static constexpr bool kIsSimulation = true;
+};
+
+}  // namespace oftm::sim

@@ -1,0 +1,125 @@
+// Simulated base objects with std::atomic-compatible API.
+//
+// Each operation is one *step*: the calling simulated process parks at the
+// scheduler's gate, and when granted performs the access and logs it into
+// the env's low-level history. Outside a simulation (or during teardown
+// unwinding) accesses degrade to plain memory operations, so the same STM
+// template code links and runs in both worlds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/env.hpp"
+
+namespace oftm::sim {
+
+namespace detail {
+
+template <typename T>
+std::uint64_t to_word(T v) noexcept {
+  if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<std::uint64_t>(v);
+  } else if constexpr (std::is_enum_v<T>) {
+    return static_cast<std::uint64_t>(
+        static_cast<std::underlying_type_t<T>>(v));
+  } else if constexpr (std::is_integral_v<T> || std::is_same_v<T, bool>) {
+    return static_cast<std::uint64_t>(v);
+  } else {
+    return 0;  // opaque payload: identity is still logged via the object
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+class SimAtomic {
+ public:
+  SimAtomic() noexcept : v_{} {}
+  explicit SimAtomic(T v) noexcept : v_(v) {}
+
+  SimAtomic(const SimAtomic&) = delete;
+  SimAtomic& operator=(const SimAtomic&) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst) const {
+    gate(Step::Kind::kLoad, 0);
+    T v = v_;
+    patch(detail::to_word(v));
+    return v;
+  }
+
+  void store(T v, std::memory_order = std::memory_order_seq_cst) {
+    gate(Step::Kind::kStore, detail::to_word(v));
+    v_ = v;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order = std::memory_order_seq_cst,
+                               std::memory_order = std::memory_order_seq_cst) {
+    gate(Step::Kind::kCas, detail::to_word(desired));
+    if (v_ == expected) {
+      v_ = desired;
+      patch(1);
+      return true;
+    }
+    expected = v_;
+    patch(0);
+    return false;
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst,
+                             std::memory_order = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo);
+  }
+
+  T exchange(T v, std::memory_order = std::memory_order_seq_cst) {
+    gate(Step::Kind::kExchange, detail::to_word(v));
+    T old = v_;
+    v_ = v;
+    patch(detail::to_word(old));
+    return old;
+  }
+
+  T fetch_add(T delta, std::memory_order = std::memory_order_seq_cst)
+    requires std::is_integral_v<T>
+  {
+    gate(Step::Kind::kFetchAdd, detail::to_word(delta));
+    T old = v_;
+    v_ = static_cast<T>(v_ + delta);
+    patch(detail::to_word(old));
+    return old;
+  }
+
+  T fetch_sub(T delta, std::memory_order mo = std::memory_order_seq_cst)
+    requires std::is_integral_v<T>
+  {
+    return fetch_add(static_cast<T>(T{} - delta), mo);
+  }
+
+  // Non-step peek for controller-side assertions (never call from a
+  // simulated process: it would hide a step from the history).
+  T peek() const noexcept { return v_; }
+
+ private:
+  void gate(Step::Kind kind, std::uint64_t arg) const {
+    Env* env = Env::current();
+    if (env == nullptr || env->tearing_down()) return;
+    Step s;
+    s.kind = kind;
+    s.obj = this;
+    s.arg = arg;
+    env->access_gate(s);
+  }
+
+  void patch(std::uint64_t result) const {
+    Env* env = Env::current();
+    if (env == nullptr || env->tearing_down()) return;
+    env->patch_result(result);
+  }
+
+  T v_;
+};
+
+}  // namespace oftm::sim

@@ -1,0 +1,73 @@
+// Steps: the paper's low-level events (Section 2.1).
+//
+// "At the low-level, we consider processes executing operations on base
+// objects (e.g., hardware memory locations). ... pi's events on base
+// objects, which we call steps, can be visible to other processes."
+//
+// Every access to a simulated base object produces one Step in the global
+// trace; markers (kMarker) additionally record high-level events
+// (transaction begin/commit/abort, operation invocations/responses) so the
+// trace is a faithful low-level history in the paper's sense: high-level
+// events interleaved with steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oftm::sim {
+
+struct Step {
+  enum class Kind : std::uint8_t {
+    kLoad,
+    kStore,
+    kCas,       // arg = desired, result = 1 on success
+    kExchange,
+    kFetchAdd,
+    kLocal,     // scheduling point with no shared access (e.g. backoff)
+    kMarker,    // high-level event annotation (not a shared-memory step)
+  };
+
+  std::uint32_t seq = 0;       // global sequence number
+  int pid = -1;                // executing process
+  Kind kind = Kind::kLocal;
+  const void* obj = nullptr;   // base-object identity (address)
+  std::uint64_t arg = 0;       // value written / desired
+  std::uint64_t result = 0;    // value read / CAS outcome
+  std::uint64_t label = 0;     // caller annotation (transaction id etc.)
+  const char* note = nullptr;  // static string for markers
+
+  // True if this step modified the state of its base object — the notion
+  // used by the strict disjoint-access-parallelism definition (Def. 12):
+  // failed CAS is a read-only access.
+  bool modifies() const noexcept {
+    switch (kind) {
+      case Kind::kStore:
+      case Kind::kExchange:
+      case Kind::kFetchAdd:
+        return true;
+      case Kind::kCas:
+        return result != 0;
+      default:
+        return false;
+    }
+  }
+
+  bool is_shared_access() const noexcept {
+    return kind != Kind::kLocal && kind != Kind::kMarker;
+  }
+};
+
+inline const char* to_string(Step::Kind k) noexcept {
+  switch (k) {
+    case Step::Kind::kLoad: return "load";
+    case Step::Kind::kStore: return "store";
+    case Step::Kind::kCas: return "cas";
+    case Step::Kind::kExchange: return "xchg";
+    case Step::Kind::kFetchAdd: return "faa";
+    case Step::Kind::kLocal: return "local";
+    case Step::Kind::kMarker: return "marker";
+  }
+  return "?";
+}
+
+}  // namespace oftm::sim

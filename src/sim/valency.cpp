@@ -1,0 +1,399 @@
+#include "sim/valency.hpp"
+
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/assert.hpp"
+
+namespace oftm::sim::valency {
+namespace {
+
+constexpr int kMaxProcs = 4;
+
+enum class Phase : std::uint8_t {
+  kCheckD = 0,  // about to read register D
+  kInv,         // about to execute propose invocation event on F
+  kResp,        // about to execute propose response event on F
+  kWriteD,      // about to write its decision to register D
+  kDecided,     // returned (absorbing)
+  kAnnounce,    // kAdoptMin: about to write its input to A[i]
+  kScan,        // kAdoptMin: about to rescan announcements after an abort
+};
+
+struct ProcState {
+  Phase phase = Phase::kCheckD;
+  bool window = false;      // propose open (between inv and resp)
+  bool saw_event = false;   // another process executed an F event in window
+  bool saw_effect = false;  // a concurrent propose registered in window
+  std::uint8_t carry = 0;   // value to write to D / decided value
+  std::uint8_t est = 0;     // current proposal value (kAdoptMin)
+};
+
+struct VmState {
+  std::uint8_t d = 0;  // register D; 0 encodes ⊥, inputs are 1..n
+  bool f_decided = false;
+  std::uint8_t f_value = 0;
+  std::uint8_t announced = 0;  // bitmask: A[i] written (value is input i+1)
+  std::array<ProcState, kMaxProcs> procs{};
+  std::uint8_t n = 3;
+
+  bool all_decided() const {
+    for (int i = 0; i < n; ++i) {
+      if (procs[static_cast<std::size_t>(i)].phase != Phase::kDecided) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::uint64_t key() const {
+    std::uint64_t k = d;                       // 3 bits
+    k = (k << 1) | (f_decided ? 1u : 0u);      // 1
+    k = (k << 3) | f_value;                    // 3
+    k = (k << 4) | announced;                  // 4
+    for (int i = 0; i < kMaxProcs; ++i) {
+      const ProcState& p = procs[static_cast<std::size_t>(i)];
+      k = (k << 3) | static_cast<std::uint64_t>(p.phase);
+      k = (k << 1) | (p.window ? 1u : 0u);
+      k = (k << 1) | (p.saw_event ? 1u : 0u);
+      k = (k << 1) | (p.saw_effect ? 1u : 0u);
+      k = (k << 3) | p.carry;
+      k = (k << 3) | p.est;                    // 12 bits per proc
+    }
+    return k;  // 11 + 4*12 = 59 bits
+  }
+};
+
+struct Move {
+  VmState next;
+  std::string desc;
+};
+
+std::string move_desc(int pid, const char* what) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "p%d: %s", pid, what);
+  return buf;
+}
+
+// Record an F event by `actor`: every *other* process with an open window
+// saw step contention on F.
+void broadcast_f_event(VmState& s, int actor, bool is_effect) {
+  for (int i = 0; i < s.n; ++i) {
+    if (i == actor) continue;
+    ProcState& p = s.procs[static_cast<std::size_t>(i)];
+    if (p.window) {
+      p.saw_event = true;
+      if (is_effect) p.saw_effect = true;
+    }
+  }
+}
+
+std::vector<Move> successors(const VmState& s, AbortSemantics sem) {
+  std::vector<Move> out;
+  for (int i = 0; i < s.n; ++i) {
+    const ProcState& p = s.procs[static_cast<std::size_t>(i)];
+    // kRetryOwn: always propose the own input. kAdoptMin: propose est.
+    const std::uint8_t input =
+        p.est != 0 ? p.est : static_cast<std::uint8_t>(i + 1);
+    switch (p.phase) {
+      case Phase::kDecided:
+        break;
+      case Phase::kAnnounce: {
+        VmState t = s;
+        ProcState& q = t.procs[static_cast<std::size_t>(i)];
+        t.announced = static_cast<std::uint8_t>(t.announced | (1u << i));
+        q.est = static_cast<std::uint8_t>(i + 1);
+        q.phase = Phase::kCheckD;
+        out.push_back({t, move_desc(i, "announce A[i]")});
+        break;
+      }
+      case Phase::kScan: {
+        VmState t = s;
+        ProcState& q = t.procs[static_cast<std::size_t>(i)];
+        std::uint8_t best = q.est;
+        for (int j = 0; j < s.n; ++j) {
+          if ((s.announced & (1u << j)) != 0) {
+            const auto v = static_cast<std::uint8_t>(j + 1);
+            if (best == 0 || v < best) best = v;
+          }
+        }
+        q.est = best;
+        q.phase = Phase::kCheckD;
+        out.push_back({t, move_desc(i, "scan announcements; adopt min")});
+        break;
+      }
+      case Phase::kCheckD: {
+        VmState t = s;
+        ProcState& q = t.procs[static_cast<std::size_t>(i)];
+        if (s.d != 0) {
+          q.carry = s.d;
+          q.phase = Phase::kDecided;
+          out.push_back({t, move_desc(i, "read D -> decide")});
+        } else {
+          q.phase = Phase::kInv;
+          out.push_back({t, move_desc(i, "read D = bottom")});
+        }
+        break;
+      }
+      case Phase::kInv: {
+        VmState t = s;
+        ProcState& q = t.procs[static_cast<std::size_t>(i)];
+        q.window = true;
+        q.saw_event = false;
+        q.saw_effect = false;
+        q.phase = Phase::kResp;
+        broadcast_f_event(t, i, /*is_effect=*/false);
+        out.push_back({t, move_desc(i, "F.propose invocation")});
+        break;
+      }
+      case Phase::kResp: {
+        // The response event itself is an F event visible to open windows.
+        const bool abort_legal =
+            sem == AbortSemantics::kUnrestrictedOverlap
+                ? p.saw_event
+                : p.saw_effect;  // kFailOnly: a concurrent propose registered
+        // Where an aborted propose resumes: kAdoptMin rescans first.
+        const Phase after_abort =
+            p.est != 0 ? Phase::kScan : Phase::kCheckD;
+        auto close = [&](VmState& t) {
+          ProcState& q = t.procs[static_cast<std::size_t>(i)];
+          q.window = false;
+          broadcast_f_event(t, i, /*is_effect=*/false);
+          return &q;
+        };
+        if (s.f_decided) {
+          {
+            VmState t = s;
+            ProcState* q = close(t);
+            q->carry = s.f_value;
+            q->phase = Phase::kWriteD;
+            out.push_back({t, move_desc(i, "F.propose -> decided value")});
+          }
+          if (abort_legal) {
+            VmState t = s;
+            ProcState* q = close(t);
+            q->phase = after_abort;
+            out.push_back({t, move_desc(i, "F.propose -> abort")});
+          }
+        } else {
+          {
+            // Register own value: this is the effectful event.
+            VmState t = s;
+            ProcState* q = close(t);
+            t.f_decided = true;
+            t.f_value = input;
+            q->carry = input;
+            q->phase = Phase::kWriteD;
+            // Registration is an *effect* for concurrently open windows.
+            for (int j = 0; j < t.n; ++j) {
+              if (j == i) continue;
+              ProcState& r = t.procs[static_cast<std::size_t>(j)];
+              if (r.window) r.saw_effect = true;
+            }
+            out.push_back({t, move_desc(i, "F.propose -> register own")});
+          }
+          if (abort_legal) {
+            VmState t = s;
+            ProcState* q = close(t);
+            q->phase = after_abort;
+            out.push_back({t, move_desc(i, "F.propose -> abort")});
+          }
+        }
+        break;
+      }
+      case Phase::kWriteD: {
+        VmState t = s;
+        ProcState& q = t.procs[static_cast<std::size_t>(i)];
+        t.d = q.carry;
+        q.phase = Phase::kDecided;
+        out.push_back({t, move_desc(i, "write D; decide")});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(AbortSemantics s) {
+  return s == AbortSemantics::kUnrestrictedOverlap ? "unrestricted-overlap"
+                                                   : "fail-only";
+}
+
+Analysis analyze_retry_protocol(const AnalysisOptions& options) {
+  OFTM_ASSERT(options.nprocs >= 2 && options.nprocs <= kMaxProcs);
+  Analysis result;
+
+  VmState init;
+  init.n = static_cast<std::uint8_t>(options.nprocs);
+  if (options.protocol == Protocol::kAdoptMin) {
+    for (int i = 0; i < init.n; ++i) {
+      init.procs[static_cast<std::size_t>(i)].phase = Phase::kAnnounce;
+    }
+  }
+
+  // ---- Phase 1: build the reachable graph (BFS). ------------------------
+  struct Node {
+    VmState state;
+    std::vector<std::pair<std::uint32_t, std::string>> succ;  // idx, move
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  std::deque<std::uint32_t> frontier;
+
+  auto intern = [&](const VmState& s) -> std::uint32_t {
+    const std::uint64_t k = s.key();
+    auto it = index.find(k);
+    if (it != index.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back(Node{s, {}});
+    index.emplace(k, id);
+    frontier.push_back(id);
+    return id;
+  };
+
+  intern(init);
+  while (!frontier.empty()) {
+    if (nodes.size() > options.max_states) {
+      result.states = nodes.size();
+      result.complete = false;
+      return result;
+    }
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    const VmState s = nodes[id].state;  // copy: nodes may reallocate
+
+    // Consensus safety sanity checks on this state.
+    std::uint8_t decided_value = 0;
+    for (int i = 0; i < s.n; ++i) {
+      const ProcState& p = s.procs[static_cast<std::size_t>(i)];
+      if (p.phase == Phase::kDecided) {
+        if (p.carry == 0 || p.carry > s.n) result.validity_violated = true;
+        if (decided_value == 0) {
+          decided_value = p.carry;
+        } else if (decided_value != p.carry) {
+          result.agreement_violated = true;
+        }
+      }
+    }
+
+    for (Move& m : successors(s, options.semantics)) {
+      const std::uint32_t t = intern(m.next);
+      nodes[id].succ.emplace_back(t, std::move(m.desc));
+    }
+  }
+  result.states = nodes.size();
+  result.complete = true;
+
+  // ---- Phase 2: cycle detection (iterative tri-color DFS). --------------
+  // Any cycle is a livelock: kDecided is absorbing and emits no moves, so
+  // every move on a cycle is a step of a process that never decides.
+  {
+    enum : std::uint8_t { kWhite, kGrey, kBlack };
+    std::vector<std::uint8_t> color(nodes.size(), kWhite);
+    struct Frame {
+      std::uint32_t node;
+      std::size_t next_edge = 0;
+    };
+    std::vector<Frame> stack;
+
+    stack.push_back({0, 0});
+    color[0] = kGrey;
+    while (!stack.empty() && !result.livelock_cycle_found) {
+      Frame& f = stack.back();
+      if (f.next_edge < nodes[f.node].succ.size()) {
+        auto [t, desc] = nodes[f.node].succ[f.next_edge];
+        ++f.next_edge;
+        if (color[t] == kGrey) {
+          // Found a cycle: witness = path from the first occurrence of t.
+          result.livelock_cycle_found = true;
+          std::size_t start = 0;
+          for (std::size_t j = 0; j < stack.size(); ++j) {
+            if (stack[j].node == t) {
+              start = j;
+              break;
+            }
+          }
+          for (std::size_t j = start; j + 1 < stack.size(); ++j) {
+            // Move taken from stack[j] to stack[j+1] is edge next_edge-1.
+            const auto& edges = nodes[stack[j].node].succ;
+            const auto& e = edges[stack[j].next_edge - 1];
+            result.livelock_witness.push_back(e.second);
+          }
+          result.livelock_witness.push_back(desc + "  [closes cycle]");
+        } else if (color[t] == kWhite) {
+          color[t] = kGrey;
+          stack.push_back({t, 0});
+        }
+      } else {
+        color[f.node] = kBlack;
+        stack.pop_back();
+      }
+    }
+
+    if (!result.livelock_cycle_found) {
+      bool terminals_ok = true;
+      for (const Node& nd : nodes) {
+        if (nd.succ.empty() && !nd.state.all_decided()) {
+          terminals_ok = false;
+          break;
+        }
+      }
+      result.always_decides = terminals_ok;
+    }
+  }
+
+  // ---- Phase 3: valency sets (fixpoint over the possibly-cyclic graph). --
+  {
+    std::vector<std::uint8_t> vals(nodes.size(), 0);  // bitmask of values
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (int p = 0; p < nodes[i].state.n; ++p) {
+        const ProcState& ps = nodes[i].state.procs[static_cast<std::size_t>(p)];
+        if (ps.phase == Phase::kDecided) {
+          vals[i] |= static_cast<std::uint8_t>(1u << ps.carry);
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = nodes.size(); i-- > 0;) {
+        std::uint8_t acc = vals[i];
+        for (const auto& [t, desc] : nodes[i].succ) {
+          (void)desc;
+          acc |= vals[t];
+        }
+        if (acc != vals[i]) {
+          vals[i] = acc;
+          changed = true;
+        }
+      }
+    }
+
+    auto popcount = [](std::uint8_t m) { return __builtin_popcount(m); };
+    bool all_extendable = true;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (popcount(vals[i]) < 2) continue;
+      ++result.bivalent_states;
+      bool has_bivalent_succ = false;
+      for (const auto& [t, desc] : nodes[i].succ) {
+        (void)desc;
+        if (popcount(vals[t]) >= 2) {
+          has_bivalent_succ = true;
+          break;
+        }
+      }
+      if (!has_bivalent_succ) all_extendable = false;
+    }
+    result.bivalence_always_extendable =
+        result.bivalent_states > 0 && all_extendable;
+  }
+
+  return result;
+}
+
+}  // namespace oftm::sim::valency

@@ -1,0 +1,91 @@
+// Valency analysis of consensus protocols over abstract fo-consensus
+// (Theorem 9 / Corollary 11 experiments).
+//
+// The object model mirrors how the paper's Theorem-9 proof uses fo-consensus
+// as a base object: a propose spans an invocation and a response event (the
+// proof's bracketed sequences [c.propose(pa, ⊥), c.propose(pb, ⊥)] interleave
+// these events), and the abort nondeterminism available to the adversary is
+// a configurable semantics:
+//
+//   kUnrestrictedOverlap — a propose may abort iff another process executed
+//     an event on the same object inside its invocation/response window.
+//     This is the full power granted by fo-obstruction-freedom alone (the
+//     only abort restriction stated in Section 4.1), and exactly the move
+//     the proof's histories E4/E5 rely on.
+//
+//   kFailOnly — a propose may abort only if a *concurrent propose took
+//     effect* (registered a value) during its window. A strictly stronger
+//     object; the natural reading of "fail-only" in which an abort implies
+//     somebody else succeeded.
+//
+// The analyzed protocol is the canonical retry loop (announce is implicit in
+// the register D; each process proposes its input, writes the decision to D
+// on success, re-checks D and retries on abort) — the structure of
+// Algorithm 1's consumer and of every consensus-from-fo-consensus usage in
+// the paper.
+//
+// The analyzer exhaustively builds the reachable state graph and reports:
+//   * livelock cycles (infinite executions where stepping processes never
+//     decide) — wait-freedom violations, the paper's Theorem 9 outcome;
+//   * whether every maximal execution decides (the possibility outcome);
+//   * valency of every state (the set of values decidable from it), which
+//     mechanizes the proof's Claim 10 on this protocol: does every bivalent
+//     state have a bivalent successor?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oftm::sim::valency {
+
+enum class AbortSemantics {
+  kUnrestrictedOverlap,
+  kFailOnly,
+};
+
+// Protocol families analyzed (the impossibility must not be an artifact of
+// one particular retry shape):
+//   kRetryOwn  — every propose carries the process's own input;
+//   kAdoptMin  — processes announce their inputs in registers first; after
+//     an aborted propose they rescan the announcements and adopt the
+//     minimum (a natural "helping" strategy — which the analysis shows does
+//     NOT defeat the Theorem-9 adversary).
+enum class Protocol {
+  kRetryOwn,
+  kAdoptMin,
+};
+
+struct AnalysisOptions {
+  int nprocs = 3;                       // 2..4
+  AbortSemantics semantics = AbortSemantics::kUnrestrictedOverlap;
+  Protocol protocol = Protocol::kRetryOwn;
+  std::uint64_t max_states = 2'000'000;  // exploration guard
+};
+
+struct Analysis {
+  std::uint64_t states = 0;
+  bool complete = false;            // full reachable graph explored
+  bool agreement_violated = false;  // sanity: should never be true
+  bool validity_violated = false;   // sanity: should never be true
+
+  // Liveness outcomes.
+  bool livelock_cycle_found = false;
+  std::vector<std::string> livelock_witness;  // moves reaching + looping
+
+  // True iff the graph is cycle-free and every terminal state has all
+  // processes decided: wait-free consensus achieved against this adversary.
+  bool always_decides = false;
+
+  // Claim-10 mechanization.
+  std::uint64_t bivalent_states = 0;
+  // Every bivalent state has at least one bivalent successor (the adversary
+  // can maintain bivalence forever — Theorem 9's engine).
+  bool bivalence_always_extendable = false;
+};
+
+Analysis analyze_retry_protocol(const AnalysisOptions& options);
+
+std::string to_string(AbortSemantics s);
+
+}  // namespace oftm::sim::valency

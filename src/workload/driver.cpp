@@ -1,0 +1,222 @@
+#include "workload/driver.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "runtime/assert.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/xorshift.hpp"
+#include "workload/zipf.hpp"
+
+namespace oftm::workload {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Unique-writes discipline: no two writes anywhere produce the same value,
+// and no write produces the initial value 0.
+core::Value unique_value(int thread, std::uint64_t counter) {
+  return (static_cast<core::Value>(thread + 1) << 40) | (counter + 1);
+}
+
+}  // namespace
+
+std::string RunResult::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%.3fs committed=%llu aborted=%llu gave_up=%llu "
+                "throughput=%.0f tx/s",
+                seconds, static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(aborted_attempts),
+                static_cast<unsigned long long>(gave_up), throughput());
+  return buf;
+}
+
+RunResult run_workload(core::TransactionalMemory& tm,
+                       const WorkloadConfig& config) {
+  OFTM_ASSERT(config.threads >= 1);
+  const std::size_t n = tm.num_tvars();
+  OFTM_ASSERT(n >= static_cast<std::size_t>(config.threads));
+
+  runtime::SpinBarrier barrier(static_cast<std::uint32_t>(config.threads) + 1);
+  std::vector<std::thread> workers;
+  std::vector<RunResult> partial(static_cast<std::size_t>(config.threads));
+
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (config.pin_threads) runtime::pin_current_thread(t);
+      runtime::Xoshiro256 rng(runtime::mix64(config.seed * 1000003 +
+                                             static_cast<std::uint64_t>(t)));
+      ZipfSampler zipf(n, config.zipf_s,
+                       runtime::mix64(config.seed ^ (t * 7919 + 13)));
+      RunResult& mine = partial[static_cast<std::size_t>(t)];
+      std::uint64_t value_counter = 0;
+
+      // Pre-generate per-transaction var sets so generation cost is off the
+      // measured path as much as possible and patterns are reproducible.
+      const std::size_t part_size = n / static_cast<std::size_t>(config.threads);
+      const std::size_t part_base = static_cast<std::size_t>(t) * part_size;
+
+      barrier.arrive_and_wait();
+
+      for (std::uint64_t i = 0; i < config.tx_per_thread; ++i) {
+        // Draw the access list for this logical transaction once; retries
+        // replay the same accesses (it is the same transaction restarted).
+        core::TVarId vars[64];
+        bool is_write[64];
+        const int ops = config.ops_per_tx <= 64 ? config.ops_per_tx : 64;
+        for (int k = 0; k < ops; ++k) {
+          std::size_t x = 0;
+          switch (config.pattern) {
+            case AccessPattern::kUniform:
+              x = rng.next_range(n);
+              break;
+            case AccessPattern::kZipf:
+              x = zipf.next();
+              break;
+            case AccessPattern::kPartitioned:
+              x = part_base + rng.next_range(part_size);
+              break;
+          }
+          vars[k] = static_cast<core::TVarId>(x);
+          is_write[k] = rng.next_bool(config.write_fraction);
+        }
+
+        bool done = false;
+        for (int attempt = 0; attempt < config.max_retries && !done;
+             ++attempt) {
+          core::TxnPtr txn = tm.begin();
+          bool ok = true;
+          for (int k = 0; k < ops && ok; ++k) {
+            if (is_write[k]) {
+              // Read-modify-write discipline: every write is preceded by a
+              // read of the same t-variable. Besides being the realistic
+              // access shape, it lets the history checker reconstruct
+              // per-variable version orders exactly (see
+              // history/checker.hpp).
+              ok = tm.read(*txn, vars[k]).has_value() &&
+                   tm.write(*txn, vars[k], unique_value(t, value_counter++));
+            } else {
+              ok = tm.read(*txn, vars[k]).has_value();
+            }
+          }
+          if (ok && tm.try_commit(*txn)) {
+            ++mine.committed;
+            done = true;
+          } else {
+            ++mine.aborted_attempts;
+          }
+        }
+        if (!done) ++mine.gave_up;
+      }
+      barrier.arrive_and_wait();
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const auto start = Clock::now();
+  barrier.arrive_and_wait();
+  const auto stop = Clock::now();
+  for (auto& w : workers) w.join();
+
+  RunResult total;
+  total.seconds = seconds_between(start, stop);
+  for (const RunResult& p : partial) {
+    total.committed += p.committed;
+    total.aborted_attempts += p.aborted_attempts;
+    total.gave_up += p.gave_up;
+  }
+  total.tm_stats = tm.stats();
+  return total;
+}
+
+RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
+                            std::uint64_t tx_per_thread, std::size_t accounts,
+                            core::Value initial_balance, std::uint64_t seed,
+                            bool* invariant_ok) {
+  OFTM_ASSERT(accounts >= 2);
+  OFTM_ASSERT(tm.num_tvars() >= accounts);
+
+  // Seed balances through committed transactions (quiescent setup).
+  {
+    core::TxnPtr txn = tm.begin();
+    for (std::size_t a = 0; a < accounts; ++a) {
+      OFTM_ASSERT(tm.write(*txn, static_cast<core::TVarId>(a),
+                           initial_balance));
+    }
+    OFTM_ASSERT(tm.try_commit(*txn));
+  }
+
+  runtime::SpinBarrier barrier(static_cast<std::uint32_t>(threads) + 1);
+  std::vector<std::thread> workers;
+  std::vector<RunResult> partial(static_cast<std::size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      runtime::pin_current_thread(t);
+      runtime::Xoshiro256 rng(runtime::mix64(seed + 31 * t));
+      RunResult& mine = partial[static_cast<std::size_t>(t)];
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
+        const auto from = static_cast<core::TVarId>(rng.next_range(accounts));
+        auto to = static_cast<core::TVarId>(rng.next_range(accounts));
+        if (to == from) to = static_cast<core::TVarId>((to + 1) % accounts);
+        const core::Value amount = rng.next_range(10) + 1;
+        bool done = false;
+        while (!done) {
+          core::TxnPtr txn = tm.begin();
+          const auto fb = tm.read(*txn, from);
+          if (!fb) {
+            ++mine.aborted_attempts;
+            continue;
+          }
+          if (*fb < amount) {
+            tm.try_abort(*txn);  // insufficient funds: requested abort
+            done = true;         // not a retry — the transfer is dropped
+            break;
+          }
+          const auto tb = tm.read(*txn, to);
+          if (!tb || !tm.write(*txn, from, *fb - amount) ||
+              !tm.write(*txn, to, *tb + amount) || !tm.try_commit(*txn)) {
+            ++mine.aborted_attempts;
+            continue;
+          }
+          ++mine.committed;
+          done = true;
+        }
+      }
+      barrier.arrive_and_wait();
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const auto start = Clock::now();
+  barrier.arrive_and_wait();
+  const auto stop = Clock::now();
+  for (auto& w : workers) w.join();
+
+  core::Value sum = 0;
+  for (std::size_t a = 0; a < accounts; ++a) {
+    sum += tm.read_quiescent(static_cast<core::TVarId>(a));
+  }
+  if (invariant_ok != nullptr) {
+    *invariant_ok = (sum == initial_balance * accounts);
+  }
+
+  RunResult total;
+  total.seconds = seconds_between(start, stop);
+  for (const RunResult& p : partial) {
+    total.committed += p.committed;
+    total.aborted_attempts += p.aborted_attempts;
+  }
+  total.tm_stats = tm.stats();
+  return total;
+}
+
+}  // namespace oftm::workload

@@ -1,0 +1,63 @@
+// Multi-threaded workload driver: generates transactional workloads against
+// any core::TransactionalMemory, measures throughput/abort behaviour, and
+// (optionally) enforces the unique-writes discipline plus an invariant the
+// checkers can verify afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tm.hpp"
+#include "runtime/stats.hpp"
+
+namespace oftm::workload {
+
+enum class AccessPattern {
+  kUniform,      // uniform random t-variables
+  kZipf,         // skewed (s = zipf_s)
+  kPartitioned,  // thread i only touches its own t-variable partition
+                 // (fully disjoint transactions: the strict-DAP best case)
+};
+
+struct WorkloadConfig {
+  int threads = 4;
+  std::uint64_t tx_per_thread = 10000;
+  int ops_per_tx = 8;
+  double write_fraction = 0.2;  // probability an op is a write
+  AccessPattern pattern = AccessPattern::kUniform;
+  double zipf_s = 0.99;
+  std::uint64_t seed = 42;
+  int max_retries = 1'000'000;  // per transaction before giving up
+  bool pin_threads = true;
+};
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted_attempts = 0;
+  std::uint64_t gave_up = 0;  // transactions that hit max_retries
+  runtime::TxStats tm_stats;
+
+  double throughput() const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
+  }
+  std::string to_string() const;
+};
+
+// Run the configured workload to completion. Written values follow the
+// unique-writes discipline (value = (thread+1) << 40 | counter), so recorded
+// histories can be checked with history::check_mvsg.
+RunResult run_workload(core::TransactionalMemory& tm,
+                       const WorkloadConfig& config);
+
+// Transfer workload preserving a checkable invariant: `accounts` t-vars
+// each start with `initial_balance`; every transaction moves a random
+// amount between two accounts. After the run, the sum of balances must be
+// accounts * initial_balance. Returns false (in *invariant_ok) on violation.
+RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
+                            std::uint64_t tx_per_thread, std::size_t accounts,
+                            core::Value initial_balance, std::uint64_t seed,
+                            bool* invariant_ok);
+
+}  // namespace oftm::workload

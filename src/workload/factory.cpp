@@ -1,0 +1,68 @@
+#include "workload/factory.hpp"
+
+#include <stdexcept>
+
+#include "cm/managers.hpp"
+#include "dstm/dstm.hpp"
+#include "foctm/foctm.hpp"
+#include "lock/coarse.hpp"
+#include "lock/tl.hpp"
+#include "lock/tl2.hpp"
+
+namespace oftm::workload {
+
+std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
+                                                   std::size_t num_tvars) {
+  std::string base = name;
+  std::string cm_name = "polite";
+  if (const auto colon = name.find(':'); colon != std::string::npos) {
+    base = name.substr(0, colon);
+    cm_name = name.substr(colon + 1);
+  }
+
+  if (base == "dstm" || base == "dstm-collapse" || base == "dstm-visible") {
+    dstm::DstmOptions options;
+    options.eager_collapse = (base == "dstm-collapse");
+    options.visible_reads = (base == "dstm-visible");
+    return std::make_unique<dstm::HwDstm>(num_tvars,
+                                          cm::make_manager(cm_name), options);
+  }
+  if (base == "foctm") {
+    return std::make_unique<
+        foctm::Foctm<core::HwPlatform, foc::CasFocPolicy<core::HwPlatform>>>(
+        num_tvars, foctm::FoctmOptions{/*use_hints=*/false});
+  }
+  if (base == "foctm-hinted") {
+    return std::make_unique<
+        foctm::Foctm<core::HwPlatform, foc::CasFocPolicy<core::HwPlatform>>>(
+        num_tvars, foctm::FoctmOptions{/*use_hints=*/true});
+  }
+  if (base == "foctm-strict") {
+    return std::make_unique<foctm::Foctm<
+        core::HwPlatform, foc::StrictFocPolicy<core::HwPlatform>>>(
+        num_tvars, foctm::FoctmOptions{/*use_hints=*/true});
+  }
+  if (base == "tl") {
+    return std::make_unique<lock::HwTl>(num_tvars);
+  }
+  if (base == "tl2") {
+    return std::make_unique<lock::HwTl2>(num_tvars);
+  }
+  if (base == "tl2-ext") {
+    lock::Tl2Options options;
+    options.rv_extension = true;
+    return std::make_unique<lock::HwTl2>(num_tvars, options);
+  }
+  if (base == "coarse") {
+    return std::make_unique<lock::HwCoarse>(num_tvars);
+  }
+  throw std::invalid_argument("unknown TM backend: " + name);
+}
+
+const std::vector<std::string>& default_backends() {
+  static const std::vector<std::string> names = {
+      "dstm", "tl", "tl2", "coarse", "foctm-hinted"};
+  return names;
+}
+
+}  // namespace oftm::workload

@@ -1,0 +1,30 @@
+// Backend factory: construct any TM in this repo by name. Used by benches,
+// tests and examples so experiment code is backend-agnostic.
+//
+// Names:
+//   dstm[:<cm>]        DSTM with the given contention manager (default
+//                      polite); "dstm-collapse[:<cm>]" enables eager
+//                      descriptor collapsing; "dstm-visible[:<cm>]" enables
+//                      visible reads (early reader aborts).
+//   foctm              Algorithm 2 over CAS-backed fo-consensus (faithful).
+//   foctm-hinted       Algorithm 2 with the resolved-prefix hint ablation.
+//   foctm-strict       Algorithm 2 over strict (abortable) fo-consensus.
+//   tl | tl2 | coarse  The lock-based baselines.
+//   tl2-ext            TL2 with read-version extension.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tm.hpp"
+
+namespace oftm::workload {
+
+std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
+                                                   std::size_t num_tvars);
+
+// Backends every comparative bench sweeps by default.
+const std::vector<std::string>& default_backends();
+
+}  // namespace oftm::workload

@@ -1,0 +1,55 @@
+// Zipf-distributed key sampling (rejection-inversion, after W. Hörmann &
+// G. Derflinger / the JDK's ZipfDistribution). Used by the skewed
+// workloads: STM papers' hot-spot behaviour only shows under non-uniform
+// access, which is exactly where DSTM's descriptor sharing hurts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "runtime/xorshift.hpp"
+
+namespace oftm::workload {
+
+class ZipfSampler {
+ public:
+  // Keys 0..n-1, skew `s` (s = 0 -> uniform; s ~ 0.99 is the YCSB default).
+  ZipfSampler(std::uint64_t n, double s, std::uint64_t seed)
+      : n_(n), s_(s), rng_(seed) {
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    dist_ = h_x1_ - h_n_;
+  }
+
+  std::uint64_t next() {
+    if (s_ == 0.0) return rng_.next_range(n_);
+    for (;;) {
+      const double u = h_n_ + rng_.next_double() * dist_;
+      const double x = h_inv(u);
+      const std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1 || k > n_) continue;
+      // Accept with probability proportional to the true pmf.
+      if (u >= h(static_cast<double>(k) + 0.5) - std::exp(-s_ * std::log(k))) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  // h(x) = integral of x^-s
+  double h(double x) const {
+    if (s_ == 1.0) return std::log(x);
+    return std::exp((1.0 - s_) * std::log(x)) / (1.0 - s_);
+  }
+  double h_inv(double u) const {
+    if (s_ == 1.0) return std::exp(u);
+    return std::exp(std::log((1.0 - s_) * u) / (1.0 - s_));
+  }
+
+  std::uint64_t n_;
+  double s_;
+  runtime::Xoshiro256 rng_;
+  double h_x1_ = 0, h_n_ = 0, dist_ = 0;
+};
+
+}  // namespace oftm::workload

@@ -1,0 +1,107 @@
+// Contention-manager tests, including the obstruction-freedom contract:
+// every manager must stop answering kWait within a bounded number of
+// consultations for a fixed conflict (the paper: "eventually Tk must be
+// able to abort Ti ... without any interaction with Ti").
+#include <gtest/gtest.h>
+
+#include "cm/managers.hpp"
+
+namespace oftm::cm {
+namespace {
+
+Conflict make_conflict(int self = 0, int victim = 1, int attempt = 0) {
+  Conflict c;
+  c.self_tid = self;
+  c.victim_tid = victim;
+  c.self_tx = core::make_tx_id(self, 1);
+  c.victim_tx = core::make_tx_id(victim, 1);
+  c.attempt = attempt;
+  return c;
+}
+
+TEST(Aggressive, AlwaysKills) {
+  Aggressive cm;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, i)),
+              Decision::kAbortVictim);
+  }
+}
+
+TEST(Suicide, AlwaysSelfAborts) {
+  Suicide cm;
+  EXPECT_EQ(cm.on_conflict(make_conflict()), Decision::kAbortSelf);
+}
+
+TEST(Polite, WaitsThenKills) {
+  Polite cm(/*max_attempts=*/3);
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, 0)), Decision::kWait);
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, 2)), Decision::kWait);
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, 3)), Decision::kAbortVictim);
+}
+
+TEST(Karma, HigherKarmaWins) {
+  Karma cm;
+  for (int i = 0; i < 10; ++i) cm.on_open(1);  // victim accumulates karma
+  // Fresh self (karma 0) vs victim karma 10: patience must build up.
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, 0)), Decision::kWait);
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, 10)), Decision::kAbortVictim);
+  // Rich self kills immediately.
+  for (int i = 0; i < 20; ++i) cm.on_open(0);
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, 0)), Decision::kAbortVictim);
+}
+
+TEST(Karma, CommitResetsKarma) {
+  Karma cm;
+  for (int i = 0; i < 10; ++i) cm.on_open(2);
+  cm.on_commit(2);
+  // Victim 2 now has zero karma: fresh requester kills at once.
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 2, 0)), Decision::kAbortVictim);
+}
+
+TEST(Timestamp, ElderWinsImmediately) {
+  Timestamp cm(/*patience=*/4);
+  cm.on_tx_begin(0, core::make_tx_id(0, 1));  // older
+  cm.on_tx_begin(1, core::make_tx_id(1, 1));  // younger
+  EXPECT_EQ(cm.on_conflict(make_conflict(0, 1, 0)), Decision::kAbortVictim);
+  // Younger defers to the elder, then kills after patience.
+  EXPECT_EQ(cm.on_conflict(make_conflict(1, 0, 0)), Decision::kWait);
+  EXPECT_EQ(cm.on_conflict(make_conflict(1, 0, 4)), Decision::kAbortVictim);
+}
+
+TEST(Factory, BuildsEveryKnownManager) {
+  for (const std::string& name : manager_names()) {
+    auto cm = make_manager(name);
+    ASSERT_NE(cm, nullptr) << name;
+    EXPECT_EQ(cm->name(), name);
+  }
+  EXPECT_THROW(make_manager("bogus"), std::invalid_argument);
+}
+
+// Property: obstruction-freedom contract. For any fixed conflict, every
+// manager resolves (non-kWait) within a bounded number of consultations
+// with increasing attempt counts.
+class CmContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CmContractTest, EventuallyStopsWaiting) {
+  auto cm = make_manager(GetParam());
+  cm->on_tx_begin(0, core::make_tx_id(0, 1));
+  cm->on_tx_begin(1, core::make_tx_id(1, 1));
+  // Give the victim a large priority so the requester is maximally tempted
+  // to wait.
+  for (int i = 0; i < 1000; ++i) cm->on_open(1);
+  bool resolved = false;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    const Decision d = cm->on_conflict(make_conflict(0, 1, attempt));
+    if (d != Decision::kWait) {
+      resolved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(resolved) << GetParam() << " waited forever";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, CmContractTest,
+                         ::testing::ValuesIn(manager_names()));
+
+}  // namespace
+}  // namespace oftm::cm

@@ -1,0 +1,140 @@
+// Theorem 6 experiments: the separation between an OFTM and an *eventual
+// ic-OFTM*, and Algorithm 3's repair of it.
+//
+// EventualIcTm wraps DSTM and injects a bounded number of forceful aborts
+// with no step contention whatsoever — legal for an eventual ic-OFTM
+// (Definition 4), illegal for an OFTM (Definition 2). Then:
+//   * Algorithm 1 (one transaction per propose) leaks those aborts to its
+//     caller even when running completely alone — over this substrate it
+//     is NOT an fo-consensus;
+//   * Algorithm 3's activity registers let it abort only on *witnessed*
+//     contention, so it absorbs the bounded obstruction: a solo propose
+//     never returns ⊥ (this is the constructive content of Theorem 6).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cm/managers.hpp"
+#include "core/eventual_ic.hpp"
+#include "dstm/dstm.hpp"
+#include "foc/foc_from_eventual.hpp"
+#include "foc/foc_from_tm.hpp"
+#include "runtime/barrier.hpp"
+
+namespace oftm {
+namespace {
+
+using Hw = core::HwPlatform;
+
+std::unique_ptr<dstm::HwDstm> make_inner() {
+  return std::make_unique<dstm::HwDstm>(8, cm::make_manager("polite"));
+}
+
+TEST(EventualIcTm, InjectsExactlyBudgetSpuriousAborts) {
+  auto inner = make_inner();
+  core::EventualIcOptions options;
+  options.obstruction_budget = 5;
+  options.abort_period = 2;
+  core::EventualIcTm tm(*inner, options);
+
+  int spurious = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto txn = tm.begin();
+    const bool ok =
+        tm.read(*txn, 0).has_value() && tm.write(*txn, 0, i + 1) &&
+        tm.try_commit(*txn);
+    if (!ok) ++spurious;  // solo: only the injector can abort us
+  }
+  EXPECT_EQ(spurious, 5);
+  EXPECT_EQ(tm.remaining_budget(), 0);
+  // After the obstruction period, fully transparent.
+  auto txn = tm.begin();
+  EXPECT_TRUE(tm.write(*txn, 1, 42));
+  EXPECT_TRUE(tm.try_commit(*txn));
+  EXPECT_EQ(tm.read_quiescent(1), 42u);
+}
+
+TEST(EventualIcTm, DoomedTransactionLeavesNoTrace) {
+  auto inner = make_inner();
+  core::EventualIcOptions options;
+  options.obstruction_budget = 1;
+  options.abort_period = 1;  // the very first transaction is doomed
+  core::EventualIcTm tm(*inner, options);
+  auto txn = tm.begin();
+  EXPECT_FALSE(tm.write(*txn, 0, 99));
+  EXPECT_EQ(txn->status(), core::TxStatus::kAborted);
+  EXPECT_EQ(tm.read_quiescent(0), 0u);
+}
+
+TEST(Theorem6, Algorithm1LeaksSpuriousAbortsSolo) {
+  auto inner = make_inner();
+  core::EventualIcOptions options;
+  options.obstruction_budget = 4;
+  options.abort_period = 2;
+  core::EventualIcTm tm(*inner, options);
+  foc::FocFromTm foc(tm, 0);
+
+  int solo_aborts = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!foc.propose(static_cast<std::uint64_t>(i + 1)).has_value()) {
+      ++solo_aborts;
+    }
+  }
+  // A step-contention-free propose returned ⊥: over an eventual ic-OFTM,
+  // Algorithm 1 alone does not yield an fo-consensus.
+  EXPECT_GT(solo_aborts, 0);
+}
+
+TEST(Theorem6, Algorithm3AbsorbsSpuriousAbortsSolo) {
+  for (int budget : {1, 3, 10, 50}) {
+    auto inner = make_inner();
+    core::EventualIcOptions options;
+    options.obstruction_budget = budget;
+    options.abort_period = 1;  // worst case: every transaction doomed while
+                               // the budget lasts
+    core::EventualIcTm tm(*inner, options);
+    foc::FocFromEventualTm<Hw> foc(tm, 0, /*nprocs=*/4);
+    const auto r = foc.propose(0, 123);
+    ASSERT_TRUE(r.has_value()) << "budget " << budget;
+    EXPECT_EQ(*r, 123u);  // solo: must decide own value, never ⊥
+  }
+}
+
+TEST(Theorem6, Algorithm3KeepsAgreementUnderConcurrencyAndInjection) {
+  constexpr int kThreads = 4;
+  for (int round = 0; round < 20; ++round) {
+    auto inner = make_inner();
+    core::EventualIcOptions options;
+    options.obstruction_budget = 16;
+    options.abort_period = 3;
+    core::EventualIcTm tm(*inner, options);
+    foc::FocFromEventualTm<Hw> foc(tm, 0, kThreads);
+    runtime::SpinBarrier barrier(kThreads);
+    std::vector<std::uint64_t> decided(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        barrier.arrive_and_wait();
+        for (;;) {
+          const auto r = foc.propose(t, static_cast<std::uint64_t>(t + 1));
+          if (r.has_value()) {
+            decided[static_cast<std::size_t>(t)] = *r;
+            return;
+          }
+          // ⊥ is legal here: another thread's activity was witnessed.
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(decided[static_cast<std::size_t>(t)], decided[0]);
+    }
+    EXPECT_GE(decided[0], 1u);
+    EXPECT_LE(decided[0], static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+}  // namespace
+}  // namespace oftm

@@ -1,0 +1,273 @@
+// fo-consensus tests (Section 4): object properties (fo-validity,
+// agreement, fo-obstruction-freedom), Algorithm 1 (fo-consensus from an
+// OFTM, over both DSTM and FOCTM — closing the equivalence circle of
+// Lemmas 7 and 8), Algorithm 3 (fo-consensus from an eventual ic-OFTM),
+// and 2-process consensus from fo-consensus (Corollary 11's positive half).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cm/managers.hpp"
+#include "core/platform.hpp"
+#include "dstm/dstm.hpp"
+#include "foc/fo_consensus.hpp"
+#include "foc/foc_from_eventual.hpp"
+#include "foc/foc_from_tm.hpp"
+#include "foc/two_process_consensus.hpp"
+#include "foctm/foctm.hpp"
+#include "runtime/barrier.hpp"
+#include "sim/env.hpp"
+#include "sim/platform.hpp"
+
+namespace oftm::foc {
+namespace {
+
+using Hw = core::HwPlatform;
+
+TEST(CasFoc, SoloProposeDecidesOwnValue) {
+  CasFoConsensus<Hw, std::uint64_t, 0> c;
+  EXPECT_FALSE(c.decided());
+  EXPECT_EQ(c.propose(42).value(), 42u);
+  EXPECT_TRUE(c.decided());
+  EXPECT_EQ(c.propose(43).value(), 42u);  // losers adopt
+  EXPECT_EQ(c.peek(), 42u);
+}
+
+TEST(StrictFoc, SoloProposeNeverAborts) {
+  // fo-obstruction-freedom: step-contention-free proposes must not abort.
+  for (int i = 0; i < 100; ++i) {
+    StrictFoConsensus<Hw, std::uint64_t, 0> c;
+    const auto r = c.propose(static_cast<std::uint64_t>(i + 1));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, static_cast<std::uint64_t>(i + 1));
+  }
+}
+
+// Agreement + fo-validity under hardware contention, for both objects.
+template <typename Foc>
+void stress_agreement() {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    Foc c;
+    runtime::SpinBarrier barrier(kThreads);
+    std::vector<std::optional<std::uint64_t>> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        barrier.arrive_and_wait();
+        results[static_cast<std::size_t>(t)] =
+            c.propose(static_cast<std::uint64_t>(t + 1));
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    std::uint64_t decided = 0;
+    for (int t = 0; t < kThreads; ++t) {
+      const auto& r = results[static_cast<std::size_t>(t)];
+      if (!r.has_value()) continue;  // aborted propose: took no effect
+      if (decided == 0) decided = *r;
+      EXPECT_EQ(*r, decided) << "agreement violated";
+    }
+    if (decided != 0) {
+      // fo-validity: the decided value's proposer did not abort — it must
+      // itself have received the decided value (its own input).
+      const int winner = static_cast<int>(decided) - 1;
+      ASSERT_TRUE(results[static_cast<std::size_t>(winner)].has_value());
+      EXPECT_EQ(*results[static_cast<std::size_t>(winner)], decided);
+    }
+  }
+}
+
+TEST(CasFoc, AgreementUnderContention) {
+  stress_agreement<CasFoConsensus<Hw, std::uint64_t, 0>>();
+}
+
+TEST(StrictFoc, AgreementUnderContention) {
+  stress_agreement<StrictFoConsensus<Hw, std::uint64_t, 0>>();
+}
+
+TEST(StrictFoc, AbortsExactlyUnderObservedStepContention) {
+  // Deterministic schedule on the simulator: p1's entry lands inside p0's
+  // window, so p0 must abort; p1 then runs alone and registers.
+  auto c = std::make_unique<
+      StrictFoConsensus<sim::SimPlatform, std::uint64_t, 0>>();
+  sim::Env env(2);
+  std::optional<std::uint64_t> r0, r1;
+  env.set_body(0, [&] { r0 = c->propose(10); });
+  env.set_body(1, [&] { r1 = c->propose(20); });
+  env.start();
+  // StrictFoc propose = faa(entries), load(cell), load(entries), cas.
+  env.step(0);  // p0 faa
+  env.step(1);  // p1 faa  -> inside p0's window
+  env.step(0);  // p0 load cell (empty)
+  env.step(0);  // p0 load entries: changed => abort
+  env.run_round_robin();
+  EXPECT_FALSE(r0.has_value());  // aborted, with genuine step contention
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, 20u);  // p1 registered its own value
+  EXPECT_EQ(c->peek(), 20u);
+}
+
+// --- Algorithm 1 -------------------------------------------------------------
+
+template <typename MakeTm>
+void algorithm1_agreement(MakeTm make_tm) {
+  constexpr int kThreads = 6;
+  for (int round = 0; round < 30; ++round) {
+    auto tm = make_tm();
+    FocFromTm foc(*tm, /*v_var=*/0);
+    runtime::SpinBarrier barrier(kThreads);
+    std::vector<std::uint64_t> decided(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        barrier.arrive_and_wait();
+        // Retry aborted proposes, as the fo-consensus consumer contract
+        // allows ("may retry the operation many times").
+        for (;;) {
+          const auto r = foc.propose(static_cast<std::uint64_t>(t + 1));
+          if (r.has_value()) {
+            decided[static_cast<std::size_t>(t)] = *r;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(decided[static_cast<std::size_t>(t)], decided[0]);
+    }
+    EXPECT_GE(decided[0], 1u);
+    EXPECT_LE(decided[0], static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+TEST(Algorithm1, FoConsensusFromDstm) {
+  algorithm1_agreement([] {
+    return std::make_unique<dstm::HwDstm>(4, cm::make_manager("polite"));
+  });
+}
+
+TEST(Algorithm1, FoConsensusFromFoctm) {
+  // fo-consensus from an OFTM that is itself built from fo-consensus:
+  // Lemma 7 over Lemma 8.
+  algorithm1_agreement([] {
+    return std::make_unique<
+        foctm::Foctm<Hw, StrictFocPolicy<Hw>>>(4,
+                                               foctm::FoctmOptions{true});
+  });
+}
+
+TEST(Algorithm1, SoloProposeNeverAborts) {
+  auto tm = std::make_unique<dstm::HwDstm>(4, cm::make_manager("polite"));
+  FocFromTm foc(*tm, 0);
+  const auto r = foc.propose(9);  // step-contention-free
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 9u);
+  EXPECT_EQ(foc.propose(10).value(), 9u);
+}
+
+// --- Algorithm 3 -------------------------------------------------------------
+
+TEST(Algorithm3, SoloProposeNeverAborts) {
+  auto tm = std::make_unique<dstm::HwDstm>(4, cm::make_manager("polite"));
+  FocFromEventualTm<Hw> foc(*tm, 0, /*nprocs=*/4);
+  const auto r = foc.propose(0, 123);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 123u);
+}
+
+TEST(Algorithm3, AgreementWithRetriesUnderContention) {
+  constexpr int kThreads = 4;
+  for (int round = 0; round < 30; ++round) {
+    auto tm = std::make_unique<dstm::HwDstm>(4, cm::make_manager("polite"));
+    FocFromEventualTm<Hw> foc(*tm, 0, kThreads);
+    runtime::SpinBarrier barrier(kThreads);
+    std::vector<std::uint64_t> decided(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        barrier.arrive_and_wait();
+        for (;;) {
+          const auto r = foc.propose(t, static_cast<std::uint64_t>(t + 1));
+          if (r.has_value()) {
+            decided[static_cast<std::size_t>(t)] = *r;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(decided[static_cast<std::size_t>(t)], decided[0]);
+    }
+  }
+}
+
+// --- 2-process consensus (Corollary 11) --------------------------------------
+
+template <typename Policy>
+void two_proc_consensus_stress() {
+  for (int round = 0; round < 500; ++round) {
+    FocConsensus<Hw, Policy> consensus;
+    runtime::SpinBarrier barrier(2);
+    std::uint64_t out[2] = {};
+    std::thread a([&] {
+      barrier.arrive_and_wait();
+      out[0] = consensus.propose(0, 100 + static_cast<std::uint64_t>(round));
+    });
+    std::thread b([&] {
+      barrier.arrive_and_wait();
+      out[1] = consensus.propose(1, 200 + static_cast<std::uint64_t>(round));
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(out[0], out[1]) << "agreement";
+    EXPECT_TRUE(out[0] == 100 + static_cast<std::uint64_t>(round) ||
+                out[0] == 200 + static_cast<std::uint64_t>(round))
+        << "validity";
+  }
+}
+
+TEST(TwoProcessConsensus, AgreementAndValidityCas) {
+  two_proc_consensus_stress<CasFocPolicy<Hw>>();
+}
+
+TEST(TwoProcessConsensus, AgreementAndValidityStrict) {
+  two_proc_consensus_stress<StrictFocPolicy<Hw>>();
+}
+
+TEST(TwoProcessConsensus, SoloDecidesImmediately) {
+  FocConsensus<Hw, StrictFocPolicy<Hw>> consensus;
+  EXPECT_EQ(consensus.propose(0, 5), 5u);
+  EXPECT_EQ(consensus.propose(1, 6), 5u);  // late process adopts
+  EXPECT_EQ(consensus.decision(), 5u);
+}
+
+TEST(TwoProcessConsensus, CrashAfterRegistrationStillResolves) {
+  // Simulator: p0 registers in F but crashes before writing D; p1 running
+  // alone afterwards must still decide p0's value (it re-proposes on the
+  // decided object and adopts).
+  auto consensus = std::make_unique<
+      FocConsensus<sim::SimPlatform, StrictFocPolicy<sim::SimPlatform>>>();
+  sim::Env env(2);
+  std::uint64_t out1 = 0;
+  env.set_body(0, [&] { (void)consensus->propose(0, 111); });
+  env.set_body(1, [&] { out1 = consensus->propose(1, 222); });
+  env.start();
+  // p0: announce(1) + D load(1) + strict propose faa/load/load/cas(4) = 6
+  // steps puts it past registration, before the D store.
+  for (int i = 0; i < 6; ++i) env.step(0);
+  env.crash(0);
+  env.run_solo(1, 100000);
+  EXPECT_TRUE(env.done(1));
+  EXPECT_EQ(out1, 111u);  // p1 adopted the crashed winner's value
+}
+
+}  // namespace
+}  // namespace oftm::foc

@@ -1,0 +1,210 @@
+// Obstruction-freedom experiments (Definition 2, Theorem 5):
+//
+//   * a crashed/suspended transaction cannot block the OFTM backends (DSTM,
+//     FOCTM) — the defining property; and the same scenario BLOCKS the
+//     lock-based TL, the contrast the paper draws in the introduction;
+//   * the step-contention oracle: across explored schedules, every forceful
+//     abort has a step of another process inside the victim's lifetime
+//     (Definition 2), checked on the simulator's low-level history;
+//   * ic-obstruction-freedom (Definition 3 / Theorem 5): after a process
+//     crashes, transactions that run with no live concurrency are never
+//     forcefully aborted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cm/managers.hpp"
+#include "dstm/dstm.hpp"
+#include "foctm/foctm.hpp"
+#include "lock/tl.hpp"
+#include "sim/explorer.hpp"
+#include "sim/platform.hpp"
+
+namespace oftm {
+namespace {
+
+using SimDstm = dstm::Dstm<sim::SimPlatform>;
+using SimTl = lock::Tl<sim::SimPlatform>;
+using SimFoctm =
+    foctm::Foctm<sim::SimPlatform, foc::StrictFocPolicy<sim::SimPlatform>>;
+
+// p0 starts a transaction, writes x and y, then is suspended forever
+// (crash). p1 must still be able to run and commit a conflicting
+// transaction — "a process that is preempted, delayed or even crashed
+// cannot inhibit the progress of other processes".
+template <typename Tm>
+void run_crashed_owner_scenario(Tm& tm, bool expect_progress) {
+  sim::Env env(2);
+  auto committed = std::make_shared<bool>(false);
+  env.set_body(0, [&tm] {
+    core::TxnPtr txn = tm.begin();
+    (void)tm.write(*txn, 0, 77);
+    (void)tm.write(*txn, 1, 78);
+    // Keep the transaction live: one more access loop we will never finish.
+    (void)tm.read(*txn, 2);
+    (void)tm.try_commit(*txn);
+  });
+  env.set_body(1, [&tm, committed] {
+    for (int attempt = 0; attempt < 200 && !*committed; ++attempt) {
+      core::TxnPtr txn = tm.begin();
+      const auto v = tm.read(*txn, 0);
+      if (!v) continue;
+      if (!tm.write(*txn, 0, *v + 1)) continue;
+      if (tm.try_commit(*txn)) *committed = true;
+    }
+  });
+  env.start();
+  // Let p0 run just far enough to take ownership of x (and possibly y),
+  // then crash it mid-transaction.
+  for (int i = 0; i < 6; ++i) env.step(0);
+  env.crash(0);
+  env.run_solo(1, 1'000'000);
+  EXPECT_EQ(*committed, expect_progress);
+}
+
+TEST(ObstructionFreedom, CrashedOwnerCannotBlockDstm) {
+  SimDstm tm(4, cm::make_manager("aggressive"));
+  run_crashed_owner_scenario(tm, /*expect_progress=*/true);
+}
+
+TEST(ObstructionFreedom, CrashedOwnerCannotBlockDstmPoliteCm) {
+  // Polite backs off a bounded number of times, then revokes: still OF.
+  SimDstm tm(4, cm::make_manager("polite"));
+  run_crashed_owner_scenario(tm, /*expect_progress=*/true);
+}
+
+TEST(ObstructionFreedom, CrashedOwnerCannotBlockFoctm) {
+  SimFoctm tm(4);
+  run_crashed_owner_scenario(tm, /*expect_progress=*/true);
+}
+
+TEST(ObstructionFreedom, CrashedOwnerBlocksTlForever) {
+  // The contrast: TL's encounter-time locks are not revocable. p1
+  // self-aborts forever; no amount of retrying helps.
+  SimTl tm(4, lock::TlOptions{/*patience=*/8});
+  run_crashed_owner_scenario(tm, /*expect_progress=*/false);
+}
+
+// Definition 2 as an executable oracle. Bodies bracket each transaction
+// with markers; after every explored execution we verify: forcefully
+// aborted => some step of another process lies inside the transaction's
+// event window.
+struct OracleState {
+  std::unique_ptr<SimDstm> tm =
+      std::make_unique<SimDstm>(3, cm::make_manager("aggressive"));
+};
+
+void oracle_txn(std::shared_ptr<OracleState> st, std::uint64_t label,
+                core::TVarId a, core::TVarId b) {
+  sim::Env* env = sim::Env::current();
+  auto& tm = *st->tm;
+  env->set_label(label);
+  env->marker("tx_begin");
+  core::TxnPtr txn = tm.begin();
+  bool ok = tm.read(*txn, a).has_value() && tm.write(*txn, b, label);
+  if (ok) ok = tm.try_commit(*txn);
+  env->marker(ok ? "tx_commit" : "tx_forced_abort");
+  env->set_label(0);
+}
+
+std::string check_definition2(const std::vector<sim::Step>& trace) {
+  // For every label with a tx_forced_abort marker, find its window and
+  // require a step by a different pid strictly inside it.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const sim::Step& end = trace[i];
+    if (end.kind != sim::Step::Kind::kMarker ||
+        std::string(end.note) != "tx_forced_abort") {
+      continue;
+    }
+    // Find the matching begin (same label, latest before i).
+    std::size_t begin = trace.size();
+    for (std::size_t j = i; j-- > 0;) {
+      if (trace[j].kind == sim::Step::Kind::kMarker &&
+          trace[j].label == end.label &&
+          std::string(trace[j].note) == "tx_begin") {
+        begin = j;
+        break;
+      }
+    }
+    if (begin == trace.size()) return "unmatched tx_forced_abort marker";
+    bool contention = false;
+    for (std::size_t j = begin + 1; j < i && !contention; ++j) {
+      contention = trace[j].is_shared_access() && trace[j].pid != end.pid;
+    }
+    if (!contention) {
+      return "forceful abort without step contention (label " +
+             std::to_string(end.label) + ")";
+    }
+  }
+  return "";
+}
+
+TEST(ObstructionFreedom, ForcefulAbortImpliesStepContention) {
+  auto setup = [](sim::Env& env) {
+    auto st = std::make_shared<OracleState>();
+    env.set_body(0, [st] { oracle_txn(st, 1, 0, 1); });
+    env.set_body(1, [st] { oracle_txn(st, 2, 1, 0); });
+    return [st, &env]() -> std::string {
+      return check_definition2(env.trace());
+    };
+  };
+  sim::ExplorerOptions options;
+  options.preemption_bound = 3;
+  options.max_executions = 30000;
+  const auto r = sim::explore(2, setup, options);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_GT(r.executions, 20u);
+}
+
+TEST(ObstructionFreedom, ForcefulAbortImpliesStepContentionThreeProcs) {
+  auto setup = [](sim::Env& env) {
+    auto st = std::make_shared<OracleState>();
+    env.set_body(0, [st] { oracle_txn(st, 1, 0, 1); });
+    env.set_body(1, [st] { oracle_txn(st, 2, 1, 2); });
+    env.set_body(2, [st] { oracle_txn(st, 3, 2, 0); });
+    return [st, &env]() -> std::string {
+      return check_definition2(env.trace());
+    };
+  };
+  sim::ExplorerOptions options;
+  options.preemption_bound = 2;
+  options.max_executions = 30000;
+  const auto r = sim::explore(3, setup, options);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+}
+
+// Theorem 5 / ic-obstruction-freedom: once the only other process has
+// crashed, a fresh transaction runs step-contention-free and must commit
+// even though a *live* transaction of the crashed process still owns
+// t-variables.
+TEST(ObstructionFreedom, IcObstructionFreedomAfterCrash) {
+  SimDstm tm(4, cm::make_manager("polite"));
+  sim::Env env(2);
+  env.set_body(0, [&tm] {
+    core::TxnPtr txn = tm.begin();
+    (void)tm.write(*txn, 0, 10);
+    (void)tm.read(*txn, 3);
+    (void)tm.try_commit(*txn);
+  });
+  auto outcomes = std::make_shared<std::pair<int, int>>(0, 0);  // commit/abort
+  env.set_body(1, [&tm, outcomes] {
+    for (int i = 0; i < 5; ++i) {
+      core::TxnPtr txn = tm.begin();
+      bool ok = tm.read(*txn, 0).has_value() && tm.write(*txn, 1, i + 1);
+      if (ok) ok = tm.try_commit(*txn);
+      ++(ok ? outcomes->first : outcomes->second);
+    }
+  });
+  env.start();
+  for (int i = 0; i < 8; ++i) env.step(0);  // p0 owns x, then...
+  env.crash(0);                             // ...crashes
+  env.run_solo(1, 1'000'000);
+  // Every one of p1's post-crash transactions ran step-contention-free:
+  // none may be forcefully aborted (they must all commit).
+  EXPECT_EQ(outcomes->first, 5);
+  EXPECT_EQ(outcomes->second, 0);
+}
+
+}  // namespace
+}  // namespace oftm

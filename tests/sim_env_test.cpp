@@ -1,0 +1,223 @@
+// Tests for the deterministic simulator: lockstep scheduling, step logging
+// (the paper's low-level histories), crashes, solo runs, replayable
+// schedules, and the exhaustive explorer.
+//
+// The LowLevelHistory.* tests double as the Figure 1 reproduction: a
+// high-level operation (move between two "counters") unfolds into an
+// interleaving-free sequence of base-object steps bracketed by markers,
+// exactly the two-level structure of Section 2.1.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/env.hpp"
+#include "sim/explorer.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_atomic.hpp"
+
+namespace oftm::sim {
+namespace {
+
+TEST(SimAtomic, RawAccessOutsideSimulation) {
+  SimAtomic<int> a(41);
+  EXPECT_EQ(a.load(), 41);
+  a.store(42);
+  EXPECT_EQ(a.load(), 42);
+  int expected = 42;
+  EXPECT_TRUE(a.compare_exchange_strong(expected, 43));
+  EXPECT_EQ(a.exchange(7), 43);
+  EXPECT_EQ(a.fetch_add(3), 7);
+  EXPECT_EQ(a.load(), 10);
+}
+
+TEST(Env, StepsAreSerializedAndLogged) {
+  auto x = std::make_unique<SimAtomic<std::uint64_t>>(0);
+  Env env(2);
+  env.set_body(0, [&] {
+    for (int i = 0; i < 3; ++i) x->fetch_add(1);
+  });
+  env.set_body(1, [&] {
+    for (int i = 0; i < 3; ++i) x->fetch_add(10);
+  });
+  env.start();
+  env.run_round_robin();
+  EXPECT_TRUE(env.all_done());
+  EXPECT_EQ(x->peek(), 33u);
+  // 6 shared-memory steps, alternating pids under round-robin.
+  ASSERT_EQ(env.trace().size(), 6u);
+  EXPECT_EQ(env.trace()[0].pid, 0);
+  EXPECT_EQ(env.trace()[1].pid, 1);
+  EXPECT_EQ(env.trace()[0].kind, Step::Kind::kFetchAdd);
+}
+
+TEST(Env, ScheduleControlsInterleaving) {
+  auto x = std::make_unique<SimAtomic<std::uint64_t>>(0);
+  auto run = [&](std::vector<int> schedule) {
+    x->store(0);
+    Env env(2);
+    // Classic lost-update: read, then write read+1.
+    auto body = [&] {
+      const std::uint64_t v = x->load();
+      x->store(v + 1);
+    };
+    env.set_body(0, body);
+    env.set_body(1, body);
+    env.start();
+    env.run_schedule(schedule);
+    env.run_round_robin();  // drain
+    return x->peek();
+  };
+  EXPECT_EQ(run({0, 0, 1, 1}), 2u);  // sequential: both increments land
+  EXPECT_EQ(run({0, 1, 0, 1}), 1u);  // interleaved: lost update
+}
+
+TEST(Env, SoloRunMatchesStepContentionFreedom) {
+  auto x = std::make_unique<SimAtomic<std::uint64_t>>(0);
+  Env env(3);
+  env.set_body(0, [&] { x->store(5); });
+  env.set_body(1, [&] { x->store(6); });
+  env.set_body(2, [&] { x->store(7); });
+  env.start();
+  env.run_solo(1);
+  EXPECT_TRUE(env.done(1));
+  EXPECT_FALSE(env.done(0));
+  EXPECT_EQ(x->peek(), 6u);
+  // Every step so far belongs to p1: p1 ran step-contention-free.
+  for (const Step& s : env.trace()) EXPECT_EQ(s.pid, 1);
+  env.run_round_robin();
+}
+
+TEST(Env, CrashedProcessTakesNoFurtherSteps) {
+  auto x = std::make_unique<SimAtomic<std::uint64_t>>(0);
+  Env env(2);
+  env.set_body(0, [&] {
+    x->store(1);
+    x->store(2);  // never reached
+  });
+  env.set_body(1, [&] { x->fetch_add(10); });
+  env.start();
+  ASSERT_TRUE(env.step(0));  // p0 executes store(1)
+  env.crash(0);
+  EXPECT_FALSE(env.step(0));  // crashed: cannot be scheduled
+  env.run_round_robin();
+  EXPECT_EQ(x->peek(), 11u);  // store(2) never happened
+  EXPECT_TRUE(env.crashed(0));
+}
+
+TEST(Env, LabelsAndMarkersAnnotateTheHistory) {
+  auto x = std::make_unique<SimAtomic<std::uint64_t>>(0);
+  Env env(1);
+  env.set_body(0, [&] {
+    Env::current()->set_label(77);
+    Env::current()->marker("begin");
+    x->store(1);
+    Env::current()->marker("end");
+  });
+  env.start();
+  env.run_round_robin();
+  const auto& trace = env.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].kind, Step::Kind::kMarker);
+  EXPECT_STREQ(trace[0].note, "begin");
+  EXPECT_EQ(trace[1].label, 77u);
+  EXPECT_TRUE(trace[1].modifies());
+}
+
+// Figure 1 of the paper: process pi executes high-level A.move(), which the
+// implementation turns into x.inc() and y.dec() on base objects x and y.
+TEST(LowLevelHistory, Figure1TwoLevelStructure) {
+  auto x = std::make_unique<SimAtomic<std::uint64_t>>(3);
+  auto y = std::make_unique<SimAtomic<std::uint64_t>>(3);
+  Env env(1);
+  env.name_object(x.get(), "x");
+  env.name_object(y.get(), "y");
+  env.set_body(0, [&] {
+    Env* e = Env::current();
+    e->marker("A.move() invocation");
+    x->fetch_add(1);   // x.inc()
+    y->fetch_sub(1);   // y.dec()
+    e->marker("A.move() -> ok");
+  });
+  env.start();
+  env.run_round_robin();
+
+  const auto& t = env.trace();
+  ASSERT_EQ(t.size(), 4u);
+  // Well-formedness (Section 2.1): the steps of the operation sit strictly
+  // between its invocation and response, in program order.
+  EXPECT_EQ(t[0].kind, Step::Kind::kMarker);
+  EXPECT_EQ(t[1].obj, x.get());
+  EXPECT_EQ(t[2].obj, y.get());
+  EXPECT_EQ(t[3].kind, Step::Kind::kMarker);
+  const std::string rendered = env.format_trace();
+  EXPECT_NE(rendered.find("A.move() invocation"), std::string::npos);
+  EXPECT_NE(rendered.find("x"), std::string::npos);
+}
+
+// --- Explorer ---------------------------------------------------------------
+
+TEST(Explorer, CountsInterleavingsOfIndependentSteps) {
+  // Two processes, two steps each on distinct objects: C(4,2) = 6 schedules.
+  ExplorerOptions options;
+  auto setup = [](Env& env) {
+    auto state = std::make_shared<std::pair<SimAtomic<int>, SimAtomic<int>>>();
+    env.set_body(0, [state] {
+      state->first.store(1);
+      state->first.store(2);
+    });
+    env.set_body(1, [state] {
+      state->second.store(1);
+      state->second.store(2);
+    });
+    return [state]() -> std::string { return ""; };
+  };
+  const ExplorerResult r = explore(2, setup, options);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_FALSE(r.violation_found);
+  EXPECT_EQ(r.executions, 6u);
+}
+
+TEST(Explorer, FindsTheOneBadInterleaving) {
+  // Lost-update bug: only some schedules produce a final value of 1; the
+  // explorer must find one and report its schedule.
+  auto setup = [](Env& env) {
+    auto x = std::make_shared<SimAtomic<std::uint64_t>>(0);
+    auto body = [x] {
+      const std::uint64_t v = x->load();
+      x->store(v + 1);
+    };
+    env.set_body(0, body);
+    env.set_body(1, body);
+    return [x]() -> std::string {
+      return x->peek() == 2 ? "" : "lost update";
+    };
+  };
+  const ExplorerResult r = explore(2, setup, {});
+  EXPECT_TRUE(r.violation_found);
+  EXPECT_EQ(r.violation, "lost update");
+  EXPECT_FALSE(r.violating_schedule.empty());
+}
+
+TEST(Explorer, PreemptionBoundPrunesSchedules) {
+  auto setup = [](Env& env) {
+    auto x = std::make_shared<SimAtomic<std::uint64_t>>(0);
+    auto body = [x] {
+      for (int i = 0; i < 3; ++i) x->fetch_add(1);
+    };
+    env.set_body(0, body);
+    env.set_body(1, body);
+    return [x]() -> std::string { return ""; };
+  };
+  ExplorerOptions unbounded;
+  ExplorerOptions bounded;
+  bounded.preemption_bound = 1;
+  const auto full = explore(2, setup, unbounded);
+  const auto pruned = explore(2, setup, bounded);
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_TRUE(pruned.exhausted);
+  EXPECT_GT(full.executions, pruned.executions);
+  EXPECT_GE(pruned.executions, 2u);
+}
+
+}  // namespace
+}  // namespace oftm::sim

@@ -1,0 +1,181 @@
+// Model checking the STM backends: exhaustively explore (preemption-bounded)
+// schedules of small transactional scenarios on the simulator and check
+// every resulting history against Definition 1 (serializability) with the
+// assumption-free exhaustive checker.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cm/managers.hpp"
+#include "dstm/dstm.hpp"
+#include "foctm/foctm.hpp"
+#include "history/checker.hpp"
+#include "history/recorder.hpp"
+#include "sim/explorer.hpp"
+#include "sim/platform.hpp"
+
+namespace oftm {
+namespace {
+
+using SimDstm = dstm::Dstm<sim::SimPlatform>;
+using SimFoctmStrict =
+    foctm::Foctm<sim::SimPlatform, foc::StrictFocPolicy<sim::SimPlatform>>;
+using SimFoctmCas =
+    foctm::Foctm<sim::SimPlatform, foc::CasFocPolicy<sim::SimPlatform>>;
+
+// Each process runs one transaction: read one t-var, write another, commit.
+// Any interleaving must produce a serializable history.
+template <typename Tm>
+sim::SetupFn crossing_transactions_setup() {
+  return [](sim::Env& env) {
+    struct State {
+      std::unique_ptr<Tm> tm;
+      history::Recorder recorder;
+      std::unique_ptr<history::RecordingTm> rec_tm;
+      State() {
+        if constexpr (std::is_same_v<Tm, SimDstm>) {
+          tm = std::make_unique<Tm>(4, cm::make_manager("aggressive"));
+        } else {
+          tm = std::make_unique<Tm>(4);
+        }
+        rec_tm = std::make_unique<history::RecordingTm>(*tm, recorder);
+      }
+    };
+    auto st = std::make_shared<State>();
+
+    auto txn_body = [st](core::TVarId read_var, core::TVarId write_var,
+                         core::Value value) {
+      auto& tm = *st->rec_tm;
+      core::TxnPtr txn = tm.begin();
+      if (!tm.read(*txn, read_var).has_value()) return;
+      if (!tm.write(*txn, write_var, value)) return;
+      tm.try_commit(*txn);
+    };
+    env.set_body(0, [txn_body] { txn_body(0, 1, 101); });
+    env.set_body(1, [txn_body] { txn_body(1, 0, 202); });
+
+    return [st]() -> std::string {
+      const auto wf = st->recorder.check_well_formed();
+      if (!wf.empty()) return wf;
+      const auto r =
+          history::check_exhaustive_serializability(st->recorder.transactions());
+      return r.ok ? "" : r.error;
+    };
+  };
+}
+
+TEST(ModelCheck, DstmCrossingTransactionsAreSerializable) {
+  sim::ExplorerOptions options;
+  options.preemption_bound = 3;
+  options.max_executions = 20000;
+  const auto r = sim::explore(2, crossing_transactions_setup<SimDstm>(),
+                              options);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_GT(r.executions, 10u);
+}
+
+TEST(ModelCheck, FoctmStrictCrossingTransactionsAreSerializable) {
+  sim::ExplorerOptions options;
+  options.preemption_bound = 2;
+  options.max_executions = 20000;
+  const auto r = sim::explore(
+      2, crossing_transactions_setup<SimFoctmStrict>(), options);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_GT(r.executions, 10u);
+}
+
+TEST(ModelCheck, FoctmCasCrossingTransactionsAreSerializable) {
+  sim::ExplorerOptions options;
+  options.preemption_bound = 2;
+  options.max_executions = 20000;
+  const auto r =
+      sim::explore(2, crossing_transactions_setup<SimFoctmCas>(), options);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+}
+
+// Three processes hammering the same t-variable with read-modify-write
+// transactions; retries until commit. Checks both serializability and the
+// final-sum witness.
+TEST(ModelCheck, DstmThreeWayCounterIsLinearizable) {
+  auto setup = [](sim::Env& env) {
+    struct State {
+      std::unique_ptr<SimDstm> tm =
+          std::make_unique<SimDstm>(1, cm::make_manager("aggressive"));
+    };
+    auto st = std::make_shared<State>();
+    auto increment = [st] {
+      auto& tm = *st->tm;
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        core::TxnPtr txn = tm.begin();
+        const auto v = tm.read(*txn, 0);
+        if (!v) continue;
+        if (!tm.write(*txn, 0, *v + 1)) continue;
+        if (tm.try_commit(*txn)) return;
+      }
+    };
+    for (int p = 0; p < 3; ++p) env.set_body(p, increment);
+    return [st]() -> std::string {
+      const auto v = st->tm->read_quiescent(0);
+      return v == 3 ? "" : "lost increment: final=" + std::to_string(v);
+    };
+  };
+  sim::ExplorerOptions options;
+  options.preemption_bound = 2;
+  options.max_executions = 30000;
+  const auto r = sim::explore(3, setup, options);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_GT(r.executions, 50u);
+}
+
+// Write-skew scenario: T0 reads x writes y; T1 reads y writes x. Under any
+// schedule at most one of them may observe the other's write as absent
+// while its own is observed — the exhaustive checker verifies every
+// history; additionally the "both-read-zero-and-commit" outcome must be
+// impossible... which for *serializable* TMs means: if both commit having
+// read 0, that IS the write-skew anomaly and the checker flags it.
+TEST(ModelCheck, DstmForbidsWriteSkew) {
+  auto setup = [](sim::Env& env) {
+    struct State {
+      std::unique_ptr<SimDstm> tm =
+          std::make_unique<SimDstm>(2, cm::make_manager("aggressive"));
+      core::Value seen0 = 99, seen1 = 99;
+      bool committed0 = false, committed1 = false;
+    };
+    auto st = std::make_shared<State>();
+    env.set_body(0, [st] {
+      auto& tm = *st->tm;
+      core::TxnPtr txn = tm.begin();
+      const auto v = tm.read(*txn, 0);
+      if (!v) return;
+      if (!tm.write(*txn, 1, 11)) return;
+      st->seen0 = *v;
+      st->committed0 = tm.try_commit(*txn);
+    });
+    env.set_body(1, [st] {
+      auto& tm = *st->tm;
+      core::TxnPtr txn = tm.begin();
+      const auto v = tm.read(*txn, 1);
+      if (!v) return;
+      if (!tm.write(*txn, 0, 22)) return;
+      st->seen1 = *v;
+      st->committed1 = tm.try_commit(*txn);
+    });
+    return [st]() -> std::string {
+      // Registers version: both committing while both read the initial 0 is
+      // non-serializable (each must precede the other).
+      if (st->committed0 && st->committed1 && st->seen0 == 0 &&
+          st->seen1 == 0) {
+        return "write skew: both committed having read 0";
+      }
+      return "";
+    };
+  };
+  sim::ExplorerOptions options;
+  options.preemption_bound = 3;
+  options.max_executions = 30000;
+  const auto r = sim::explore(2, setup, options);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+}
+
+}  // namespace
+}  // namespace oftm

@@ -1,0 +1,214 @@
+// Backend-agnostic unit tests, run against every TM in the repo via the
+// factory (parameterized suite): the TM-as-shared-object semantics of
+// Section 2.2 that any backend must satisfy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/atomically.hpp"
+#include "core/tvar.hpp"
+#include "workload/factory.hpp"
+
+namespace oftm {
+namespace {
+
+using core::TransactionalMemory;
+using core::TxnPtr;
+
+class StmUnitTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { tm_ = workload::make_tm(GetParam(), 256); }
+  std::unique_ptr<TransactionalMemory> tm_;
+};
+
+TEST_P(StmUnitTest, InitialValuesAreZero) {
+  TxnPtr txn = tm_->begin();
+  for (core::TVarId x : {0u, 1u, 255u}) {
+    const auto v = tm_->read(*txn, x);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0u);
+  }
+  EXPECT_TRUE(tm_->try_commit(*txn));
+}
+
+TEST_P(StmUnitTest, CommitPublishesWrites) {
+  {
+    TxnPtr txn = tm_->begin();
+    ASSERT_TRUE(tm_->write(*txn, 3, 33));
+    ASSERT_TRUE(tm_->write(*txn, 4, 44));
+    ASSERT_TRUE(tm_->try_commit(*txn));
+    EXPECT_EQ(txn->status(), core::TxStatus::kCommitted);
+  }
+  EXPECT_EQ(tm_->read_quiescent(3), 33u);
+  EXPECT_EQ(tm_->read_quiescent(4), 44u);
+  TxnPtr txn = tm_->begin();
+  EXPECT_EQ(tm_->read(*txn, 3).value(), 33u);
+  EXPECT_TRUE(tm_->try_commit(*txn));
+}
+
+TEST_P(StmUnitTest, RequestedAbortRollsBack) {
+  TxnPtr txn = tm_->begin();
+  ASSERT_TRUE(tm_->write(*txn, 5, 55));
+  tm_->try_abort(*txn);
+  EXPECT_EQ(txn->status(), core::TxStatus::kAborted);
+  EXPECT_EQ(tm_->read_quiescent(5), 0u);
+  // The transaction is completed: further operations are rejected.
+  EXPECT_FALSE(tm_->read(*txn, 5).has_value());
+  EXPECT_FALSE(tm_->write(*txn, 5, 56));
+  EXPECT_FALSE(tm_->try_commit(*txn));
+}
+
+TEST_P(StmUnitTest, ReadOwnWrite) {
+  TxnPtr txn = tm_->begin();
+  ASSERT_TRUE(tm_->write(*txn, 7, 70));
+  EXPECT_EQ(tm_->read(*txn, 7).value(), 70u);
+  ASSERT_TRUE(tm_->write(*txn, 7, 71));
+  EXPECT_EQ(tm_->read(*txn, 7).value(), 71u);  // last own write wins
+  ASSERT_TRUE(tm_->try_commit(*txn));
+  EXPECT_EQ(tm_->read_quiescent(7), 71u);
+}
+
+TEST_P(StmUnitTest, ReadThenWriteThenReadSameVar) {
+  {
+    TxnPtr setup = tm_->begin();
+    ASSERT_TRUE(tm_->write(*setup, 9, 90));
+    ASSERT_TRUE(tm_->try_commit(*setup));
+  }
+  TxnPtr txn = tm_->begin();
+  EXPECT_EQ(tm_->read(*txn, 9).value(), 90u);
+  ASSERT_TRUE(tm_->write(*txn, 9, 91));
+  EXPECT_EQ(tm_->read(*txn, 9).value(), 91u);
+  ASSERT_TRUE(tm_->try_commit(*txn));
+  EXPECT_EQ(tm_->read_quiescent(9), 91u);
+}
+
+TEST_P(StmUnitTest, RepeatedReadsAreConsistent) {
+  TxnPtr txn = tm_->begin();
+  const auto a = tm_->read(*txn, 11);
+  const auto b = tm_->read(*txn, 11);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(tm_->try_commit(*txn));
+}
+
+TEST_P(StmUnitTest, SequentialTransactionsChainValues) {
+  core::Value prev = 0;
+  for (int i = 1; i <= 10; ++i) {
+    TxnPtr txn = tm_->begin();
+    EXPECT_EQ(tm_->read(*txn, 13).value(), prev);
+    prev = static_cast<core::Value>(i * 100);
+    ASSERT_TRUE(tm_->write(*txn, 13, prev));
+    ASSERT_TRUE(tm_->try_commit(*txn));
+  }
+  EXPECT_EQ(tm_->read_quiescent(13), 1000u);
+}
+
+TEST_P(StmUnitTest, SoloTransactionIsNeverForcefullyAborted) {
+  // Obstruction-freedom sanity at the unit level: with no concurrency at
+  // all, every transaction must commit (Definition 2: forceful aborts
+  // require step contention).
+  for (int i = 0; i < 100; ++i) {
+    TxnPtr txn = tm_->begin();
+    ASSERT_TRUE(tm_->read(*txn, static_cast<core::TVarId>(i % 256))
+                    .has_value());
+    ASSERT_TRUE(
+        tm_->write(*txn, static_cast<core::TVarId>((i + 1) % 256), i + 1));
+    ASSERT_TRUE(tm_->try_commit(*txn));
+  }
+  EXPECT_EQ(tm_->stats().forced_aborts, 0u);
+}
+
+TEST_P(StmUnitTest, StatsCountCommitsAndAborts) {
+  tm_->reset_stats();
+  {
+    TxnPtr txn = tm_->begin();
+    ASSERT_TRUE(tm_->write(*txn, 1, 1));
+    ASSERT_TRUE(tm_->try_commit(*txn));
+  }
+  {
+    TxnPtr txn = tm_->begin();
+    ASSERT_TRUE(tm_->write(*txn, 1, 2));
+    tm_->try_abort(*txn);
+  }
+  const auto s = tm_->stats();
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.aborts, 1u);
+  EXPECT_EQ(s.forced_aborts, 0u);  // tryA is not forceful
+  EXPECT_GE(s.writes, 2u);
+}
+
+TEST_P(StmUnitTest, AtomicallyRetriesAndReturnsValue) {
+  const auto result = core::atomically(*tm_, [](core::TxView& tx) {
+    const core::Value v = tx.read(20);
+    tx.write(20, v + 5);
+    return v + 5;
+  });
+  EXPECT_EQ(result, 5u);
+  EXPECT_EQ(tm_->read_quiescent(20), 5u);
+}
+
+TEST_P(StmUnitTest, AtomicallyCancelPropagates) {
+  EXPECT_THROW(core::atomically(*tm_, [](core::TxView& tx) {
+    tx.write(21, 1);
+    tx.cancel();
+  }),
+               core::TxCancelled);
+  EXPECT_EQ(tm_->read_quiescent(21), 0u);
+}
+
+TEST_P(StmUnitTest, TypedTVarRoundTrip) {
+  const core::TVar<double> pi(30);
+  const core::TVar<int> counter(31);
+  core::atomically(*tm_, [&](core::TxView& tx) {
+    pi.set(tx, 3.25);
+    counter.set(tx, -17);
+  });
+  core::atomically(*tm_, [&](core::TxView& tx) {
+    EXPECT_DOUBLE_EQ(pi.get(tx), 3.25);
+    EXPECT_EQ(counter.get(tx), -17);
+  });
+}
+
+TEST_P(StmUnitTest, LargeWriteSet) {
+  TxnPtr txn = tm_->begin();
+  for (core::TVarId x = 0; x < 64; ++x) {
+    ASSERT_TRUE(tm_->write(*txn, x, x + 1000));
+  }
+  ASSERT_TRUE(tm_->try_commit(*txn));
+  for (core::TVarId x = 0; x < 64; ++x) {
+    EXPECT_EQ(tm_->read_quiescent(x), x + 1000);
+  }
+}
+
+TEST_P(StmUnitTest, WriteOnlyAndReadOnlyTransactions) {
+  {
+    TxnPtr w = tm_->begin();
+    ASSERT_TRUE(tm_->write(*w, 40, 1));
+    ASSERT_TRUE(tm_->try_commit(*w));
+  }
+  {
+    TxnPtr r = tm_->begin();
+    EXPECT_EQ(tm_->read(*r, 40).value(), 1u);
+    EXPECT_EQ(tm_->read(*r, 41).value(), 0u);
+    ASSERT_TRUE(tm_->try_commit(*r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StmUnitTest,
+    ::testing::Values("dstm", "dstm:aggressive", "dstm:karma",
+                      "dstm-collapse", "dstm-visible", "foctm",
+                      "foctm-hinted", "foctm-strict", "tl", "tl2", "tl2-ext",
+                      "coarse"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace oftm

@@ -1,0 +1,147 @@
+// Theorem 9 / Corollary 11 experiments: exhaustive state-space analysis of
+// the canonical retry-consensus protocol over abstract fo-consensus, under
+// the two abort semantics described in sim/valency.hpp.
+//
+// Reproduced claims (see EXPERIMENTS.md, E-T9 and E-C11):
+//   * 3 processes, overlap-abort semantics (the exact adversary power used
+//     by the paper's proof): a livelock cycle exists — wait-free consensus
+//     is NOT achieved; moreover every bivalent state has a bivalent
+//     successor, which is Claim 10's engine on this concrete protocol.
+//   * 2 processes, fail-only semantics: every execution decides — the
+//     possibility side of consensus number 2.
+//   * Boundary finding: under the *unrestricted overlap* semantics even two
+//     processes can be livelocked by paired aborts; the positive direction
+//     of Corollary 11 (from [6]) therefore rests on abort semantics
+//     strictly stronger than what fo-obstruction-freedom alone grants the
+//     adversary. The repo documents this precisely instead of hand-waving.
+#include <gtest/gtest.h>
+
+#include "sim/valency.hpp"
+
+namespace oftm::sim::valency {
+namespace {
+
+AnalysisOptions options_for(int n, AbortSemantics sem) {
+  AnalysisOptions o;
+  o.nprocs = n;
+  o.semantics = sem;
+  return o;
+}
+
+TEST(Valency, SafetyHoldsInEveryExploredState) {
+  for (int n : {2, 3}) {
+    for (auto sem : {AbortSemantics::kUnrestrictedOverlap,
+                     AbortSemantics::kFailOnly}) {
+      const Analysis a = analyze_retry_protocol(options_for(n, sem));
+      ASSERT_TRUE(a.complete);
+      EXPECT_FALSE(a.agreement_violated)
+          << n << " procs, " << to_string(sem);
+      EXPECT_FALSE(a.validity_violated) << n << " procs, " << to_string(sem);
+    }
+  }
+}
+
+// E-T9: the paper's impossibility, mechanized. Three processes, adversary
+// may abort overlapping proposes (the proof's bracket move): livelock.
+TEST(Valency, ThreeProcessesLivelockUnderOverlapAborts) {
+  const Analysis a = analyze_retry_protocol(
+      options_for(3, AbortSemantics::kUnrestrictedOverlap));
+  ASSERT_TRUE(a.complete);
+  EXPECT_TRUE(a.livelock_cycle_found);
+  EXPECT_FALSE(a.always_decides);
+  EXPECT_FALSE(a.livelock_witness.empty());
+  // Claim 10's engine: bivalence can always be extended.
+  EXPECT_GT(a.bivalent_states, 0u);
+  EXPECT_TRUE(a.bivalence_always_extendable);
+}
+
+// Boundary finding: two processes are *also* livelockable under the
+// unrestricted semantics (paired aborts forever) — the possibility half of
+// Corollary 11 needs the stronger fail-only object.
+TEST(Valency, TwoProcessesAlsoLivelockUnderOverlapAborts) {
+  const Analysis a = analyze_retry_protocol(
+      options_for(2, AbortSemantics::kUnrestrictedOverlap));
+  ASSERT_TRUE(a.complete);
+  EXPECT_TRUE(a.livelock_cycle_found);
+}
+
+// E-C11 (possibility): with fail-only aborts, two processes always decide,
+// against every schedule and every legal abort choice.
+TEST(Valency, TwoProcessesAlwaysDecideUnderFailOnly) {
+  const Analysis a =
+      analyze_retry_protocol(options_for(2, AbortSemantics::kFailOnly));
+  ASSERT_TRUE(a.complete);
+  EXPECT_FALSE(a.livelock_cycle_found);
+  EXPECT_TRUE(a.always_decides);
+}
+
+// Control experiment: fail-only is in fact *stronger* than the paper's
+// object — it admits wait-free consensus for three (and four) processes
+// too, so it cannot be the object Theorem 9 is about. This pins the
+// abstract object's power from both sides.
+TEST(Valency, FailOnlyIsStrongerThanThePapersObject) {
+  for (int n : {3, 4}) {
+    const Analysis a =
+        analyze_retry_protocol(options_for(n, AbortSemantics::kFailOnly));
+    ASSERT_TRUE(a.complete);
+    EXPECT_FALSE(a.livelock_cycle_found) << n;
+    EXPECT_TRUE(a.always_decides) << n;
+  }
+}
+
+TEST(Valency, FourProcessesLivelockUnderOverlapAborts) {
+  const Analysis a = analyze_retry_protocol(
+      options_for(4, AbortSemantics::kUnrestrictedOverlap));
+  ASSERT_TRUE(a.complete);
+  EXPECT_TRUE(a.livelock_cycle_found);
+}
+
+TEST(Valency, WitnessMentionsAbortMoves) {
+  // The livelock witness must actually exercise the adversary's abort move
+  // (a cycle with no aborts is impossible: phases only regress on abort).
+  const Analysis a = analyze_retry_protocol(
+      options_for(3, AbortSemantics::kUnrestrictedOverlap));
+  bool has_abort = false;
+  for (const std::string& move : a.livelock_witness) {
+    if (move.find("abort") != std::string::npos) has_abort = true;
+  }
+  EXPECT_TRUE(has_abort);
+}
+
+// Protocol robustness: the adopt-the-minimum-announcement "helping"
+// strategy does not defeat the Theorem-9 adversary either — the
+// impossibility is about the object, not one retry shape.
+TEST(Valency, AdoptMinProtocolAlsoLivelocksUnderOverlapAborts) {
+  for (int n : {2, 3}) {
+    AnalysisOptions o = options_for(n, AbortSemantics::kUnrestrictedOverlap);
+    o.protocol = Protocol::kAdoptMin;
+    const Analysis a = analyze_retry_protocol(o);
+    ASSERT_TRUE(a.complete) << n;
+    EXPECT_FALSE(a.agreement_violated) << n;
+    EXPECT_FALSE(a.validity_violated) << n;
+    EXPECT_TRUE(a.livelock_cycle_found) << n;
+  }
+}
+
+TEST(Valency, AdoptMinProtocolDecidesUnderFailOnly) {
+  for (int n : {2, 3}) {
+    AnalysisOptions o = options_for(n, AbortSemantics::kFailOnly);
+    o.protocol = Protocol::kAdoptMin;
+    const Analysis a = analyze_retry_protocol(o);
+    ASSERT_TRUE(a.complete) << n;
+    EXPECT_FALSE(a.agreement_violated) << n;
+    EXPECT_TRUE(a.always_decides) << n;
+  }
+}
+
+TEST(Valency, StateSpaceIsModest) {
+  // Regression guard for the encoding: the 3-process graph must stay small
+  // enough for exhaustive analysis in CI.
+  const Analysis a = analyze_retry_protocol(
+      options_for(3, AbortSemantics::kUnrestrictedOverlap));
+  EXPECT_LT(a.states, 200'000u);
+  EXPECT_GT(a.states, 50u);
+}
+
+}  // namespace
+}  // namespace oftm::sim::valency

@@ -1,0 +1,104 @@
+// Workload-harness tests: factory coverage, generator properties (zipf
+// skew, unique-writes discipline), and driver accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "history/checker.hpp"
+#include "history/recorder.hpp"
+#include "workload/driver.hpp"
+#include "workload/factory.hpp"
+#include "workload/zipf.hpp"
+
+namespace oftm::workload {
+namespace {
+
+TEST(Factory, ConstructsEveryDefaultBackend) {
+  for (const std::string& name : default_backends()) {
+    auto tm = make_tm(name, 16);
+    ASSERT_NE(tm, nullptr) << name;
+    EXPECT_EQ(tm->num_tvars(), 16u);
+  }
+  EXPECT_THROW(make_tm("nonsense", 16), std::invalid_argument);
+}
+
+TEST(Factory, CmSuffixSelectsContentionManager) {
+  auto tm = make_tm("dstm:karma", 8);
+  ASSERT_NE(tm, nullptr);
+  auto txn = tm->begin();
+  EXPECT_TRUE(tm->write(*txn, 0, 1));
+  EXPECT_TRUE(tm->try_commit(*txn));
+  EXPECT_THROW(make_tm("dstm:bogus", 8), std::invalid_argument);
+}
+
+TEST(Zipf, SkewPrefersLowKeys) {
+  ZipfSampler zipf(1000, 0.99, 42);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.next()];
+  // Key 0 must be dramatically more popular than the tail.
+  EXPECT_GT(counts[0], kSamples / 100);
+  int tail = 0;
+  for (std::uint64_t k = 900; k < 1000; ++k) {
+    auto it = counts.find(k);
+    if (it != counts.end()) tail += it->second;
+  }
+  EXPECT_GT(counts[0], tail / 10);
+}
+
+TEST(Zipf, ZeroSkewIsUniformish) {
+  ZipfSampler zipf(10, 0.0, 7);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto k = zipf.next();
+    ASSERT_LT(k, 10u);
+    ++counts[k];
+  }
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(c, kSamples / 10, kSamples / 10 * 0.2) << k;
+  }
+}
+
+TEST(Driver, CountsCommitsExactly) {
+  auto tm = make_tm("tl2", 64);
+  WorkloadConfig config;
+  config.threads = 4;
+  config.tx_per_thread = 500;
+  config.ops_per_tx = 4;
+  const auto r = run_workload(*tm, config);
+  EXPECT_EQ(r.committed, 2000u);
+  EXPECT_EQ(r.gave_up, 0u);
+  EXPECT_EQ(tm->stats().commits, 2000u + 0u);
+  EXPECT_GT(r.throughput(), 0.0);
+  EXPECT_FALSE(r.to_string().empty());
+}
+
+TEST(Driver, UniqueWritesDisciplineHolds) {
+  // Recorded history must pass the MVSG checker, which *rejects* duplicate
+  // written values — so passing also certifies the discipline.
+  auto tm = make_tm("dstm", 32);
+  history::Recorder recorder;
+  history::RecordingTm recorded(*tm, recorder);
+  WorkloadConfig config;
+  config.threads = 4;
+  config.tx_per_thread = 200;
+  config.write_fraction = 1.0;
+  const auto r = run_workload(recorded, config);
+  EXPECT_EQ(r.committed, 800u);
+  const auto check = history::check_mvsg(recorder.transactions());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Driver, BankInvariantAcrossBackendsQuick) {
+  for (const std::string& name : default_backends()) {
+    auto tm = make_tm(name, 32);
+    bool ok = false;
+    const auto r = run_bank_workload(*tm, 4, 500, 16, 100, 11, &ok);
+    EXPECT_TRUE(ok) << name;
+    EXPECT_GT(r.committed, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace oftm::workload
