@@ -103,7 +103,7 @@ void BM_HotspotIndirect(benchmark::State& state, const std::string& backend,
 }
 
 void register_all() {
-  for (const std::string backend :
+  for (const std::string& backend :
        {std::string("dstm"), std::string("dstm-collapse"), std::string("tl"),
         std::string("foctm-hinted")}) {
     for (bool disruptor : {false, true}) {

@@ -15,9 +15,19 @@ std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
                                                    std::size_t num_tvars) {
   std::string base = name;
   std::string cm_name = "polite";
+  bool has_cm = false;
   if (const auto colon = name.find(':'); colon != std::string::npos) {
     base = name.substr(0, colon);
     cm_name = name.substr(colon + 1);
+    has_cm = true;
+  }
+  // Only the DSTM family takes a contention manager; a ':<cm>' suffix on
+  // any other backend is a recipe typo and must fail loudly, not silently
+  // run the base backend.
+  if (has_cm && base != "dstm" && base != "dstm-collapse" &&
+      base != "dstm-visible") {
+    throw std::invalid_argument("backend does not take a contention manager: " +
+                                name);
   }
 
   if (base == "dstm" || base == "dstm-collapse" || base == "dstm-visible") {
@@ -62,6 +72,22 @@ std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
 const std::vector<std::string>& default_backends() {
   static const std::vector<std::string> names = {
       "dstm", "tl", "tl2", "coarse", "foctm-hinted"};
+  return names;
+}
+
+const std::vector<std::string>& all_backends() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v = {
+        "dstm",         "dstm-collapse", "dstm-visible", "foctm",
+        "foctm-hinted", "foctm-strict",  "tl",           "tl2",
+        "tl2-ext",      "coarse",
+    };
+    for (const std::string& cm_name : cm::manager_names()) {
+      if (cm_name == "polite") continue;  // the plain "dstm" default
+      v.push_back("dstm:" + cm_name);
+    }
+    return v;
+  }();
   return names;
 }
 

@@ -27,4 +27,12 @@ std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
 // Backends every comparative bench sweeps by default.
 const std::vector<std::string>& default_backends();
 
+// One recipe per distinct backend configuration: each base backend and
+// ablation variant, plus plain DSTM under every registered non-default
+// contention manager (cm suffixes on the dstm-collapse/-visible ablations
+// are accepted by make_tm but not enumerated). The conformance suite
+// instantiates over this list, so a backend added to make_tm must be
+// added here to ship.
+const std::vector<std::string>& all_backends();
+
 }  // namespace oftm::workload

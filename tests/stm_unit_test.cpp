@@ -1,6 +1,7 @@
 // Backend-agnostic unit tests, run against every TM in the repo via the
 // factory (parameterized suite): the TM-as-shared-object semantics of
-// Section 2.2 that any backend must satisfy.
+// Section 2.2 that any backend must satisfy. The fixture and backend list
+// are shared with the conformance suite (tests/tm_conformance.hpp).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -8,19 +9,15 @@
 
 #include "core/atomically.hpp"
 #include "core/tvar.hpp"
+#include "tm_conformance.hpp"
 #include "workload/factory.hpp"
 
 namespace oftm {
 namespace {
 
-using core::TransactionalMemory;
 using core::TxnPtr;
 
-class StmUnitTest : public ::testing::TestWithParam<std::string> {
- protected:
-  void SetUp() override { tm_ = workload::make_tm(GetParam(), 256); }
-  std::unique_ptr<TransactionalMemory> tm_;
-};
+using StmUnitTest = conformance::TmConformanceTest;
 
 TEST_P(StmUnitTest, InitialValuesAreZero) {
   TxnPtr txn = tm_->begin();
@@ -196,19 +193,7 @@ TEST_P(StmUnitTest, WriteOnlyAndReadOnlyTransactions) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllBackends, StmUnitTest,
-    ::testing::Values("dstm", "dstm:aggressive", "dstm:karma",
-                      "dstm-collapse", "dstm-visible", "foctm",
-                      "foctm-hinted", "foctm-strict", "tl", "tl2", "tl2-ext",
-                      "coarse"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
-      for (char& c : name) {
-        if (c == ':' || c == '-') c = '_';
-      }
-      return name;
-    });
+OFTM_INSTANTIATE_FOR_ALL_BACKENDS(StmUnitTest);
 
 }  // namespace
 }  // namespace oftm

@@ -1,0 +1,51 @@
+// Shared cross-backend conformance fixture: the TM-as-shared-object
+// semantics of Section 2.2, phrased once and instantiated over every
+// backend recipe in workload::all_backends() (src/workload/factory.cpp —
+// the factory owns the list, so adding a backend there enrolls it in the
+// whole suite).
+//
+// Used by tm_conformance_test.cpp (the conformance suite proper) and
+// stm_unit_test.cpp (the original backend-agnostic unit tests, now driven
+// through the same fixture).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tm.hpp"
+#include "workload/factory.hpp"
+
+namespace oftm::conformance {
+
+// gtest test names must be alphanumeric/underscore only.
+inline std::string backend_param_name(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == ':' || c == '-') c = '_';
+  }
+  return name;
+}
+
+// Base fixture: a fresh instance of the parameterized backend per test.
+class TmConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr std::size_t kNumTVars = 256;
+
+  void SetUp() override { tm_ = workload::make_tm(GetParam(), kNumTVars); }
+
+  std::unique_ptr<core::TransactionalMemory> tm_;
+};
+
+// Instantiates `fixture` (TmConformanceTest or a subclass registered with
+// TEST_P) over every factory backend.
+#define OFTM_INSTANTIATE_FOR_ALL_BACKENDS(fixture)                       \
+  INSTANTIATE_TEST_SUITE_P(                                              \
+      AllBackends, fixture,                                              \
+      ::testing::ValuesIn(::oftm::workload::all_backends()),             \
+      ::oftm::conformance::backend_param_name)
+
+}  // namespace oftm::conformance
