@@ -17,14 +17,13 @@ namespace {
 using oftm::workload::AccessPattern;
 using oftm::workload::WorkloadConfig;
 
-void BM_ContentionManager(benchmark::State& state, const std::string& cm,
+void BM_ContentionManager(benchmark::State& state, const std::string& backend,
                           bool high_contention) {
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
   std::uint64_t kills = 0;
   for (auto _ : state) {
-    auto tm = oftm::workload::make_tm("dstm:" + cm,
-                                      high_contention ? 64 : 65536);
+    auto tm = oftm::workload::make_tm(backend, high_contention ? 64 : 65536);
     WorkloadConfig config;
     config.threads = 8;
     config.tx_per_thread = 3000;
@@ -44,22 +43,33 @@ void BM_ContentionManager(benchmark::State& state, const std::string& cm,
       static_cast<double>(aborted) /
       static_cast<double>(committed + aborted + 1);
   state.counters["victim_kills"] = static_cast<double>(kills);
-  state.SetLabel(cm);
+  state.SetLabel(backend);
+}
+
+void register_backend(const std::string& backend) {
+  benchmark::RegisterBenchmark(
+      "B3/high_contention",
+      [backend](benchmark::State& s) { BM_ContentionManager(s, backend, true); })
+      ->UseManualTime()
+      ->Iterations(2);
+  benchmark::RegisterBenchmark(
+      "B3/low_contention",
+      [backend](benchmark::State& s) {
+        BM_ContentionManager(s, backend, false);
+      })
+      ->UseManualTime()
+      ->Iterations(2);
 }
 
 void register_all() {
   for (const std::string& cm : oftm::cm::manager_names()) {
-    benchmark::RegisterBenchmark(
-        "B3/high_contention",
-        [cm](benchmark::State& s) { BM_ContentionManager(s, cm, true); })
-        ->UseManualTime()
-        ->Iterations(2);
-    benchmark::RegisterBenchmark(
-        "B3/low_contention",
-        [cm](benchmark::State& s) { BM_ContentionManager(s, cm, false); })
-        ->UseManualTime()
-        ->Iterations(2);
+    register_backend("dstm:" + cm);
   }
+  // Progressive reference lines: NOrec resolves every conflict through its
+  // global sequence lock and needs no contention manager at all — the
+  // baseline each CM ablation has to beat to justify its machinery.
+  register_backend("norec");
+  register_backend("norec-bloom");
 }
 
 const int dummy = (register_all(), 0);

@@ -42,9 +42,13 @@ void BM_DepthCost(benchmark::State& state, const std::string& backend) {
 }
 
 void register_all() {
+  // norec: value-based validation re-reads the (tiny) read set and never
+  // looks at version history — the expected flat-and-cheapest line the
+  // progressive-vs-OF comparison anchors on.
   for (const std::string& backend :
        {std::string("foctm"), std::string("foctm-hinted"),
-        std::string("dstm"), std::string("tl")}) {
+        std::string("dstm"), std::string("tl"), std::string("norec"),
+        std::string("norec-bloom")}) {
     auto* b = benchmark::RegisterBenchmark(
         "B4/version_depth",
         [backend](benchmark::State& s) { BM_DepthCost(s, backend); });

@@ -1,0 +1,10 @@
+#include "norec/norec.hpp"
+
+#include "sim/platform.hpp"
+
+namespace oftm::norec {
+
+template class Norec<core::HwPlatform>;
+template class Norec<sim::SimPlatform>;
+
+}  // namespace oftm::norec

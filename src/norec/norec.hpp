@@ -1,0 +1,334 @@
+// NOrec: a progressive lock-based STM with no ownership records — one
+// global sequence lock, invisible reads, commit-time *value-based*
+// revalidation, and lazy write-back (Dalessandro, Spear & Scott, PPoPP'10).
+//
+// Why it is in this repo: the source paper argues obstruction-free TMs pay
+// an inherent price; the strongest counterpoint in the literature
+// ("Why Transactional Memory Should Not Be Obstruction-Free", Kuznetsov &
+// Ravi; "Progressive Transactional Memory in Time and Space") is exactly a
+// minimal progressive, blocking TM of this shape. NOrec guarantees:
+//
+//   * progressiveness — a transaction is forcefully aborted only when a
+//     concurrent transaction *committed* a conflicting write since its
+//     snapshot (value inequality is the conflict witness);
+//   * system-wide progress (livelock freedom) — the commit CAS on the
+//     sequence lock fails only because some other transaction committed;
+//   * opacity — every successful read is consistent with the whole read
+//     set at the transaction's current snapshot time.
+//
+// What it gives up is obstruction freedom: a committer that stalls while
+// holding the sequence lock (odd value) blocks every other commit and
+// validation. That trade is the comparison this backend anchors.
+//
+// Value-based validation also means the classic version-clock ABA case
+// (write x:=b, then a later transaction restores x:=a) does NOT abort a
+// reader that saw a — the snapshot is still semantically consistent.
+// tests/norec_test.cpp pins this behaviour down against TL2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/tm.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/xorshift.hpp"
+
+namespace oftm::norec {
+
+struct NorecOptions {
+  // Gate the per-read write-set lookup behind a 64-bit Bloom filter (two
+  // hash bits per t-variable): a definite miss skips the probe entirely.
+  // The classic NOrec hot-path optimisation; off by default so plain
+  // "norec" matches the published algorithm and benches isolate the
+  // filter's effect.
+  bool bloom_reads = false;
+};
+
+// Small open-addressed write set: TVarId -> Value, linear probing,
+// power-of-two capacity, grown geometrically. The per-read lookup here is
+// the price NOrec pays for lazy write-back; bench_throughput's read-mostly
+// mix measures it (and the Bloom ablation removes most of it).
+class WriteSet {
+ public:
+  WriteSet() : table_(kInitialCapacity, Entry{core::kInvalidTVar, 0}) {}
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  const core::Value* find(core::TVarId x) const noexcept {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = slot_of(x, mask);; i = (i + 1) & mask) {
+      const Entry& e = table_[i];
+      if (e.key == x) return &e.value;
+      if (e.key == core::kInvalidTVar) return nullptr;
+    }
+  }
+
+  void put(core::TVarId x, core::Value v) {
+    if (size_ * 2 >= table_.size()) grow();
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = slot_of(x, mask);; i = (i + 1) & mask) {
+      Entry& e = table_[i];
+      if (e.key == x) {
+        e.value = v;
+        return;
+      }
+      if (e.key == core::kInvalidTVar) {
+        e = Entry{x, v};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Entry& e : table_) {
+      if (e.key != core::kInvalidTVar) f(e.key, e.value);
+    }
+  }
+
+ private:
+  struct Entry {
+    core::TVarId key;
+    core::Value value;
+  };
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  static std::size_t slot_of(core::TVarId x, std::size_t mask) noexcept {
+    return static_cast<std::size_t>(runtime::mix64(x)) & mask;
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign(old.size() * 2, Entry{core::kInvalidTVar, 0});
+    const std::size_t mask = table_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.key == core::kInvalidTVar) continue;
+      for (std::size_t i = slot_of(e.key, mask);; i = (i + 1) & mask) {
+        if (table_[i].key == core::kInvalidTVar) {
+          table_[i] = e;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Entry> table_;
+  std::size_t size_ = 0;
+};
+
+// Two bits in a 64-bit word per t-variable.
+inline constexpr std::uint64_t bloom_mask(core::TVarId x) noexcept {
+  const std::uint64_t h = runtime::mix64(static_cast<std::uint64_t>(x) + 1);
+  return (std::uint64_t{1} << (h & 63)) | (std::uint64_t{1} << ((h >> 6) & 63));
+}
+
+template <typename P>
+class Norec final : public core::TransactionalMemory,
+                    private core::TmStatsMixin {
+  template <typename T>
+  using Atomic = typename P::template Atomic<T>;
+
+ public:
+  class Txn final : public core::Transaction {
+   public:
+    Txn(core::TxId id, std::uint64_t snapshot)
+        : id_(id), snapshot_(snapshot) {}
+    ~Txn() override = default;
+    core::TxStatus status() const override { return status_; }
+    core::TxId id() const override { return id_; }
+
+   private:
+    friend class Norec;
+    struct ReadEntry {
+      core::TVarId x;
+      core::Value value;  // the value this transaction observed
+    };
+    core::TxId id_;
+    std::uint64_t snapshot_;  // even sequence-lock value the reads are
+                              // currently validated against
+    core::TxStatus status_ = core::TxStatus::kActive;
+    std::vector<ReadEntry> reads_;
+    WriteSet writes_;
+    std::uint64_t write_filter_ = 0;
+  };
+
+  explicit Norec(std::size_t num_tvars, NorecOptions options = {})
+      : options_(options), num_tvars_(num_tvars) {
+    slots_ = std::make_unique<Slot[]>(num_tvars);
+  }
+
+  core::TxnPtr begin() override {
+    // Snapshot an even (quiescent) sequence-lock value. All shared-word
+    // accesses in this backend are seq_cst: the correctness argument of the
+    // sequence-lock protocol is then a statement about the single total
+    // order S — and seq_cst loads cost the same as acquire loads on the
+    // read hot path of every ISA we target.
+    std::uint64_t s = seqlock_.value.load(std::memory_order_seq_cst);
+    while (s & 1) {
+      P::pause();
+      s = seqlock_.value.load(std::memory_order_seq_cst);
+    }
+    return std::make_unique<Txn>(next_tx_id(), s);
+  }
+
+  std::optional<core::Value> read(core::Transaction& t,
+                                  core::TVarId x) override {
+    auto& tx = txn_cast(t);
+    reads_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
+
+    // Read-your-own-writes from the redo log. With the Bloom ablation a
+    // definite filter miss skips the probe.
+    if (!tx.writes_.empty() &&
+        (!options_.bloom_reads ||
+         (tx.write_filter_ & bloom_mask(x)) == bloom_mask(x))) {
+      if (const core::Value* w = tx.writes_.find(x)) return *w;
+    }
+
+    // Invisible read with post-validation: the value is consistent iff the
+    // sequence lock still equals our snapshot *after* the value load (no
+    // commit intervened). If the clock moved, revalidate the whole read
+    // set by value and adopt the newer snapshot.
+    core::Value v = slots_[x].value.load(std::memory_order_seq_cst);
+    while (seqlock_.value.load(std::memory_order_seq_cst) != tx.snapshot_) {
+      if (!revalidate(tx)) {
+        abort_forced(tx);
+        return std::nullopt;
+      }
+      v = slots_[x].value.load(std::memory_order_seq_cst);
+    }
+    tx.reads_.push_back({x, v});
+    return v;
+  }
+
+  bool write(core::Transaction& t, core::TVarId x, core::Value v) override {
+    auto& tx = txn_cast(t);
+    writes_.add();
+    OFTM_ASSERT(x < num_tvars_);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    tx.writes_.put(x, v);
+    tx.write_filter_ |= bloom_mask(x);
+    return true;
+  }
+
+  bool try_commit(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return false;
+
+    // Read-only fast path: every read was validated against snapshot_ at
+    // read time; nothing to publish, and the global clock is not touched
+    // (read-only transactions are invisible end to end).
+    if (tx.writes_.empty()) {
+      tx.status_ = core::TxStatus::kCommitted;
+      commits_.add();
+      return true;
+    }
+
+    // Acquire the sequence lock at exactly our snapshot. A failed CAS
+    // means some other transaction committed (or is committing) since the
+    // snapshot — the livelock-freedom witness — so revalidate by value and
+    // retry from the newer snapshot.
+    std::uint64_t s = tx.snapshot_;
+    while (!seqlock_.value.compare_exchange_strong(
+        s, s + 1, std::memory_order_seq_cst)) {
+      cm_backoffs_.add();
+      if (!revalidate(tx)) {
+        abort_forced(tx);
+        return false;
+      }
+      s = tx.snapshot_;
+    }
+
+    // Lock held (odd value): lazy write-back, then release with the next
+    // even value. A stall here blocks everyone — the obstruction-freedom
+    // trade this backend exists to quantify.
+    tx.writes_.for_each([&](core::TVarId x, core::Value v) {
+      slots_[x].value.store(v, std::memory_order_seq_cst);
+    });
+    seqlock_.value.store(tx.snapshot_ + 2, std::memory_order_seq_cst);
+    tx.status_ = core::TxStatus::kCommitted;
+    commits_.add();
+    return true;
+  }
+
+  void try_abort(core::Transaction& t) override {
+    auto& tx = txn_cast(t);
+    if (tx.status_ != core::TxStatus::kActive) return;
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+  }
+
+  std::size_t num_tvars() const override { return num_tvars_; }
+  core::Value read_quiescent(core::TVarId x) const override {
+    return slots_[x].value.load(std::memory_order_seq_cst);
+  }
+  std::string name() const override {
+    return options_.bloom_reads ? "norec+bloom" : "norec";
+  }
+  runtime::TxStats stats() const override { return collect_stats(); }
+  void reset_stats() override { reset_collect_stats(); }
+
+ private:
+  struct alignas(runtime::kCacheLineSize) Slot {
+    Atomic<core::Value> value{0};
+  };
+
+  static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  static core::TxId next_tx_id() {
+    thread_local std::uint64_t counter = 0;
+    return core::make_tx_id(P::thread_id(), ++counter);
+  }
+
+  // Value-based revalidation: wait out any in-flight write-back, re-read
+  // every read-set entry, and confirm the sequence lock did not move while
+  // we looked. On success the transaction adopts the newer snapshot (its
+  // reads are consistent *now*, not just at the old time); failure means a
+  // conflicting write committed — the only way NOrec ever force-aborts.
+  bool revalidate(Txn& tx) {
+    for (;;) {
+      std::uint64_t time = seqlock_.value.load(std::memory_order_seq_cst);
+      if (time & 1) {
+        P::pause();
+        continue;
+      }
+      bool values_match = true;
+      for (const auto& r : tx.reads_) {
+        if (slots_[r.x].value.load(std::memory_order_seq_cst) != r.value) {
+          values_match = false;
+          break;
+        }
+      }
+      if (!values_match) return false;
+      if (seqlock_.value.load(std::memory_order_seq_cst) == time) {
+        tx.snapshot_ = time;
+        return true;
+      }
+      // The clock moved under us: some commit raced the scan; try again.
+    }
+  }
+
+  void abort_forced(Txn& tx) {
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+    forced_aborts_.add();
+  }
+
+  const NorecOptions options_;
+  const std::size_t num_tvars_;
+  std::unique_ptr<Slot[]> slots_;
+  // The one and only ownership record: even = quiescent, odd = a committer
+  // is writing back. Every conflict in this TM is mediated here.
+  runtime::CacheAligned<Atomic<std::uint64_t>> seqlock_{0};
+};
+
+using HwNorec = Norec<core::HwPlatform>;
+
+}  // namespace oftm::norec

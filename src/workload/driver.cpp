@@ -65,7 +65,19 @@ RunResult run_workload(core::TransactionalMemory& tm,
 
       barrier.arrive_and_wait();
 
-      for (std::uint64_t i = 0; i < config.tx_per_thread; ++i) {
+      // Duration mode: poll the clock only every few transactions so the
+      // deadline check stays off the measured hot path.
+      const bool timed = config.run_seconds > 0;
+      const auto deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(config.run_seconds));
+      constexpr std::uint64_t kDeadlineCheckMask = 15;
+
+      for (std::uint64_t i = 0; timed || i < config.tx_per_thread; ++i) {
+        if (timed && (i & kDeadlineCheckMask) == 0 &&
+            Clock::now() >= deadline) {
+          break;
+        }
         // Draw the access list for this logical transaction once; retries
         // replay the same accesses (it is the same transaction restarted).
         core::TVarId vars[64];
@@ -89,8 +101,16 @@ RunResult run_workload(core::TransactionalMemory& tm,
         }
 
         bool done = false;
+        bool expired = false;
         for (int attempt = 0; attempt < config.max_retries && !done;
              ++attempt) {
+          // In duration mode the retry loop must also honour the deadline:
+          // a hot-key transaction can otherwise spin through max_retries
+          // (seconds of wall time) long after the budget ran out.
+          if (timed && (attempt & 0xFF) == 0xFF && Clock::now() >= deadline) {
+            expired = true;
+            break;
+          }
           core::TxnPtr txn = tm.begin();
           bool ok = true;
           for (int k = 0; k < ops && ok; ++k) {
@@ -113,6 +133,7 @@ RunResult run_workload(core::TransactionalMemory& tm,
             ++mine.aborted_attempts;
           }
         }
+        if (expired) break;  // in-flight transaction dropped, not a gave_up
         if (!done) ++mine.gave_up;
       }
       barrier.arrive_and_wait();

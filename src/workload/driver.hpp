@@ -23,6 +23,12 @@ enum class AccessPattern {
 struct WorkloadConfig {
   int threads = 4;
   std::uint64_t tx_per_thread = 10000;
+  // Duration-based run mode: when > 0, each worker keeps generating
+  // transactions until this much wall time has elapsed after the start
+  // barrier, and tx_per_thread is ignored. The mode long soaks and
+  // time-bounded bench sweeps use; 0 (default) keeps the exact
+  // tx-count-per-thread semantics the accounting tests rely on.
+  double run_seconds = 0;
   int ops_per_tx = 8;
   double write_fraction = 0.2;  // probability an op is a write
   AccessPattern pattern = AccessPattern::kUniform;

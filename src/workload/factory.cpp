@@ -8,6 +8,7 @@
 #include "lock/coarse.hpp"
 #include "lock/tl.hpp"
 #include "lock/tl2.hpp"
+#include "norec/norec.hpp"
 
 namespace oftm::workload {
 
@@ -66,12 +67,20 @@ std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
   if (base == "coarse") {
     return std::make_unique<lock::HwCoarse>(num_tvars);
   }
+  if (base == "norec") {
+    return std::make_unique<norec::HwNorec>(num_tvars);
+  }
+  if (base == "norec-bloom") {
+    norec::NorecOptions options;
+    options.bloom_reads = true;
+    return std::make_unique<norec::HwNorec>(num_tvars, options);
+  }
   throw std::invalid_argument("unknown TM backend: " + name);
 }
 
 const std::vector<std::string>& default_backends() {
   static const std::vector<std::string> names = {
-      "dstm", "tl", "tl2", "coarse", "foctm-hinted"};
+      "dstm", "tl", "tl2", "coarse", "norec", "foctm-hinted"};
   return names;
 }
 
@@ -80,7 +89,7 @@ const std::vector<std::string>& all_backends() {
     std::vector<std::string> v = {
         "dstm",         "dstm-collapse", "dstm-visible", "foctm",
         "foctm-hinted", "foctm-strict",  "tl",           "tl2",
-        "tl2-ext",      "coarse",
+        "tl2-ext",      "coarse",        "norec",        "norec-bloom",
     };
     for (const std::string& cm_name : cm::manager_names()) {
       if (cm_name == "polite") continue;  // the plain "dstm" default

@@ -11,6 +11,13 @@
 //   foctm-strict       Algorithm 2 over strict (abortable) fo-consensus.
 //   tl | tl2 | coarse  The lock-based baselines.
 //   tl2-ext            TL2 with read-version extension.
+//   norec              NOrec: single global sequence lock, invisible reads,
+//                      commit-time value-based revalidation, lazy
+//                      write-back. The minimal *progressive* (blocking) TM
+//                      the cost-of-obstruction-freedom comparison is
+//                      anchored against (see src/norec/norec.hpp).
+//   norec-bloom        NOrec with a Bloom-filter write-set gate on the
+//                      read path (the classic hot-path ablation).
 #pragma once
 
 #include <memory>

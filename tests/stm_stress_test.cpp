@@ -128,7 +128,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllBackends, StmStressTest,
     ::testing::Values("dstm", "dstm:aggressive", "dstm:karma",
                       "dstm-collapse", "dstm-visible", "foctm-hinted",
-                      "foctm-strict", "tl", "tl2", "tl2-ext", "coarse"),
+                      "foctm-strict", "tl", "tl2", "tl2-ext", "coarse",
+                      "norec", "norec-bloom"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       for (char& c : name) {

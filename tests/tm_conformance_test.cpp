@@ -4,6 +4,7 @@
 // atomic under concurrency, and recorded histories pass the opacity checker.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <stdexcept>
@@ -278,6 +279,21 @@ TEST(TmFactoryErrors, CmSuffixOnNonDstmBackendThrows) {
   EXPECT_THROW(workload::make_tm("tl2:polite", 16), std::invalid_argument);
   EXPECT_THROW(workload::make_tm("coarse:karma", 16), std::invalid_argument);
   EXPECT_THROW(workload::make_tm("foctm:karma", 16), std::invalid_argument);
+  EXPECT_THROW(workload::make_tm("norec:karma", 16), std::invalid_argument);
+}
+
+TEST(TmFactoryErrors, DefaultBackendsAreAdvertisedAndConstructible) {
+  // default_backends() (what comparative benches sweep) must stay a subset
+  // of all_backends() (what the conformance suite certifies): a recipe in
+  // the first but not the second would be benched without ever being
+  // tested, so the lists must not drift apart.
+  const auto& all = workload::all_backends();
+  for (const std::string& name : workload::default_backends()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end())
+        << name << " is swept by default but not conformance-tested";
+    auto tm = workload::make_tm(name, 8);
+    ASSERT_NE(tm, nullptr) << name;
+  }
 }
 
 TEST(TmFactoryErrors, EveryAdvertisedBackendConstructs) {

@@ -74,6 +74,22 @@ TEST(Driver, CountsCommitsExactly) {
   EXPECT_FALSE(r.to_string().empty());
 }
 
+TEST(Driver, DurationModeRunsForTheConfiguredTime) {
+  auto tm = make_tm("norec", 64);
+  WorkloadConfig config;
+  config.threads = 2;
+  config.run_seconds = 0.2;
+  config.tx_per_thread = 1;  // must be ignored in duration mode
+  config.ops_per_tx = 4;
+  const auto r = run_workload(*tm, config);
+  // The run must last (at least) the configured duration and keep
+  // committing throughout — far more than the ignored tx_per_thread.
+  EXPECT_GE(r.seconds, 0.2 * 0.9);
+  EXPECT_LT(r.seconds, 5.0);
+  EXPECT_GT(r.committed, 2u);
+  EXPECT_EQ(r.committed, tm->stats().commits);
+}
+
 TEST(Driver, UniqueWritesDisciplineHolds) {
   // Recorded history must pass the MVSG checker, which *rejects* duplicate
   // written values — so passing also certifies the discipline.
