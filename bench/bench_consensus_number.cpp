@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "sim/valency.hpp"
+#include "workload/report.hpp"
 
 int main() {
   using namespace oftm::sim::valency;
@@ -15,17 +16,14 @@ int main() {
   std::puts("fo-consensus object F and one register D (the structure of");
   std::puts("Algorithm 1 consumers). Exhaustive state-space analysis.\n");
 
-  std::printf("%-6s %-22s %9s %10s %10s %10s %12s\n", "procs", "abort semantics",
-              "states", "livelock", "decides", "bivalent", "Claim10-ext");
-
   bool t9_ok = false;
   bool c11_ok = false;
   std::vector<std::string> witness;
 
   for (auto protocol : {Protocol::kRetryOwn, Protocol::kAdoptMin}) {
-    std::printf("-- protocol: %s\n",
-                protocol == Protocol::kRetryOwn ? "retry-own-value"
-                                                : "announce+adopt-min");
+    const char* protocol_name = protocol == Protocol::kRetryOwn
+                                    ? "retry-own-value"
+                                    : "announce+adopt-min";
     for (int n : {2, 3, 4}) {
       for (auto sem : {AbortSemantics::kUnrestrictedOverlap,
                        AbortSemantics::kFailOnly}) {
@@ -34,13 +32,22 @@ int main() {
         options.semantics = sem;
         options.protocol = protocol;
         const Analysis a = analyze_retry_protocol(options);
-        std::printf("%-6d %-22s %9llu %10s %10s %10llu %12s\n", n,
-                    to_string(sem).c_str(),
-                    static_cast<unsigned long long>(a.states),
-                    a.livelock_cycle_found ? "FOUND" : "none",
-                    a.always_decides ? "always" : "NO",
-                    static_cast<unsigned long long>(a.bivalent_states),
-                    a.bivalence_always_extendable ? "yes" : "no");
+        // One claim-matrix row per (protocol, procs, semantics), through
+        // the shared report emitter.
+        oftm::workload::report::emit(
+            oftm::workload::report::Json()
+                .field("bench", "E-T9/E-C11")
+                .field("scenario", "consensus_number")
+                .field("protocol", protocol_name)
+                .field("procs", n)
+                .field("abort_semantics", to_string(sem))
+                .field("states", static_cast<std::uint64_t>(a.states))
+                .field("livelock_cycle_found", a.livelock_cycle_found)
+                .field("always_decides", a.always_decides)
+                .field("bivalent_states",
+                       static_cast<std::uint64_t>(a.bivalent_states))
+                .field("bivalence_always_extendable",
+                       a.bivalence_always_extendable));
         if (a.agreement_violated || a.validity_violated) {
           std::puts("!! SAFETY VIOLATION — model bug");
           return 1;

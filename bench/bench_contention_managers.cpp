@@ -11,6 +11,7 @@
 #include "cm/managers.hpp"
 #include "workload/driver.hpp"
 #include "workload/factory.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -22,9 +23,10 @@ void BM_ContentionManager(benchmark::State& state, const std::string& backend,
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
   std::uint64_t kills = 0;
+  oftm::workload::RunResult merged;
+  WorkloadConfig config;
   for (auto _ : state) {
     auto tm = oftm::workload::make_tm(backend, high_contention ? 64 : 65536);
-    WorkloadConfig config;
     config.threads = 8;
     config.tx_per_thread = 3000;
     config.ops_per_tx = 8;
@@ -37,13 +39,19 @@ void BM_ContentionManager(benchmark::State& state, const std::string& backend,
     committed += r.committed;
     aborted += r.aborted_attempts;
     kills += r.tm_stats.victim_kills;
+    merged.accumulate_run(r);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(committed));
   state.counters["abort_ratio"] =
       static_cast<double>(aborted) /
       static_cast<double>(committed + aborted + 1);
   state.counters["victim_kills"] = static_cast<double>(kills);
+  state.counters["lat_p99_ns"] =
+      static_cast<double>(merged.commit_latency_ns.quantile(0.99));
   state.SetLabel(backend);
+  oftm::workload::report::emit_run(
+      "B3", high_contention ? "high_contention" : "low_contention", backend,
+      config, merged, /*num_tvars=*/high_contention ? 64 : 65536);
 }
 
 void register_backend(const std::string& backend) {

@@ -27,6 +27,7 @@
 #include "runtime/barrier.hpp"
 #include "runtime/topology.hpp"
 #include "workload/factory.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -37,6 +38,9 @@ void BM_HotspotIndirect(benchmark::State& state, const std::string& backend,
   const std::size_t vars = static_cast<std::size_t>(workers);
 
   std::uint64_t committed_total = 0;
+  double seconds_total = 0;
+  std::uint64_t min_c = ~std::uint64_t{0};
+  std::uint64_t max_c = 0;
   for (auto _ : state) {
     auto tm = oftm::workload::make_tm(backend, vars);
     std::atomic<bool> stop{false};
@@ -93,13 +97,36 @@ void BM_HotspotIndirect(benchmark::State& state, const std::string& backend,
     for (auto& w : pool) w.join();
     if (disruptor.joinable()) disruptor.join();
 
-    state.SetIterationTime(
-        std::chrono::duration<double>(stopt - start).count());
-    for (std::uint64_t c : committed) committed_total += c;
+    const double seconds =
+        std::chrono::duration<double>(stopt - start).count();
+    state.SetIterationTime(seconds);
+    seconds_total += seconds;
+    for (std::uint64_t c : committed) {
+      committed_total += c;
+      if (c < min_c) min_c = c;
+      if (c > max_c) max_c = c;
+    }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(committed_total));
   state.counters["workers"] = workers;
   state.SetLabel(backend + (with_disruptor ? "+disruptor" : "+baseline"));
+  // One report line per measured configuration, iterations merged.
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "B2")
+          .field("scenario", "hotspot_indirect")
+          .field("backend", backend)
+          .field("with_disruptor", with_disruptor)
+          .field("workers", workers)
+          .field("seconds", seconds_total)
+          .field("committed", committed_total)
+          .field("min_committed_per_worker",
+                 committed_total > 0 ? min_c : 0)
+          .field("max_committed_per_worker", max_c)
+          .field("throughput_tx_s",
+                 seconds_total > 0
+                     ? static_cast<double>(committed_total) / seconds_total
+                     : 0.0));
 }
 
 void register_all() {

@@ -27,6 +27,7 @@
 #include "lock/tl2.hpp"
 #include "sim/env.hpp"
 #include "sim/platform.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -106,6 +107,18 @@ Row run_workload(Tm& tm, int rounds,
   return row;
 }
 
+// One structured report line per (backend, workload) row, through the
+// emitter every bench shares (bench/diff_baselines.py & README schema).
+void emit_row(const char* backend, const char* wl, const Row& r) {
+  oftm::workload::report::emit(oftm::workload::report::Json()
+                                   .field("bench", "B6")
+                                   .field("scenario", wl)
+                                   .field("backend", backend)
+                                   .field("committed", r.committed)
+                                   .field("violations", r.violations)
+                                   .field("benign", r.benign));
+}
+
 template <typename Tm>
 void run_all(const char* name, const std::function<std::unique_ptr<Tm>()>&
                                    make) {
@@ -131,24 +144,15 @@ void run_all(const char* name, const std::function<std::unique_ptr<Tm>()>&
 
   {
     auto tm = make();
-    const Row r = run_workload(*tm, 6, disjoint, false);
-    std::printf("%-12s %-10s committed=%3llu violations=%3llu benign=%3llu\n",
-                name, "disjoint", (unsigned long long)r.committed,
-                (unsigned long long)r.violations, (unsigned long long)r.benign);
+    emit_row(name, "disjoint", run_workload(*tm, 6, disjoint, false));
   }
   {
     auto tm = make();
-    const Row r = run_workload(*tm, 4, chained, true);
-    std::printf("%-12s %-10s committed=%3llu violations=%3llu benign=%3llu\n",
-                name, "chained", (unsigned long long)r.committed,
-                (unsigned long long)r.violations, (unsigned long long)r.benign);
+    emit_row(name, "chained", run_workload(*tm, 4, chained, true));
   }
   {
     auto tm = make();
-    const Row r = run_workload(*tm, 6, shared, false);
-    std::printf("%-12s %-10s committed=%3llu violations=%3llu benign=%3llu\n",
-                name, "shared", (unsigned long long)r.committed,
-                (unsigned long long)r.violations, (unsigned long long)r.benign);
+    emit_row(name, "shared", run_workload(*tm, 6, shared, false));
   }
 }
 

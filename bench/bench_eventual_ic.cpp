@@ -20,6 +20,7 @@
 #include "dstm/dstm.hpp"
 #include "foc/foc_from_eventual.hpp"
 #include "foc/foc_from_tm.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -49,6 +50,12 @@ void BM_Algorithm1OverEventualIc(benchmark::State& state) {
   state.counters["solo_abort_rate"] =
       static_cast<double>(solo_aborts) / static_cast<double>(proposes);
   state.SetItemsProcessed(static_cast<std::int64_t>(proposes));
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "B7")
+          .field("scenario", "algorithm1_over_eventual_ic")
+          .field("proposes", proposes)
+          .field("solo_aborts", solo_aborts));
 }
 BENCHMARK(BM_Algorithm1OverEventualIc)
     ->Name("B7/algorithm1_over_eventual_ic")
@@ -72,6 +79,12 @@ void BM_Algorithm3OverEventualIc(benchmark::State& state) {
   state.counters["solo_abort_rate"] =
       static_cast<double>(solo_aborts) / static_cast<double>(proposes);
   state.SetItemsProcessed(static_cast<std::int64_t>(proposes));
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "B7")
+          .field("scenario", "algorithm3_over_eventual_ic")
+          .field("proposes", proposes)
+          .field("solo_aborts", solo_aborts));
 }
 BENCHMARK(BM_Algorithm3OverEventualIc)
     ->Name("B7/algorithm3_over_eventual_ic")

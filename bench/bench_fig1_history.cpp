@@ -10,6 +10,7 @@
 
 #include "sim/env.hpp"
 #include "sim/sim_atomic.hpp"
+#include "workload/report.hpp"
 
 int main() {
   using namespace oftm::sim;
@@ -59,10 +60,15 @@ int main() {
       well_formed = false;  // step outside any high-level operation
     }
   }
-  std::printf("\nwell-formed (Section 2.1): %s\n",
-              well_formed ? "YES" : "NO");
-  std::printf("final state: x=%llu y=%llu (expected 4, 2)\n",
-              static_cast<unsigned long long>(x->peek()),
-              static_cast<unsigned long long>(y->peek()));
+  // Verdict row through the shared report emitter.
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "F1")
+          .field("scenario", "figure1_two_level_history")
+          .field("well_formed", well_formed)
+          .field("final_x", static_cast<std::uint64_t>(x->peek()))
+          .field("final_y", static_cast<std::uint64_t>(y->peek()))
+          .field("expected_x", std::uint64_t{4})
+          .field("expected_y", std::uint64_t{2}));
   return well_formed && x->peek() == 4 && y->peek() == 2 ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "lock/tl2.hpp"
 #include "sim/env.hpp"
 #include "sim/platform.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -98,13 +99,16 @@ Outcome run_figure2(Tm& tm) {
 }
 
 void print(const char* name, const Outcome& o) {
-  std::printf("%-14s | T2 commit: %-3s | T3 commit: %-3s | "
-              "T2<->T3 shared base objects: %llu %s\n",
-              name, o.t2_committed ? "yes" : "NO",
-              o.t3_committed ? "yes" : "NO",
-              static_cast<unsigned long long>(o.t2_t3_violations),
-              o.t2_t3_violations > 0 ? "  [strict-DAP VIOLATED]"
-                                     : "  [strictly DAP here]");
+  // One shared-emitter JSON line per backend row.
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "F2")
+          .field("scenario", "figure2_theorem13")
+          .field("backend", name)
+          .field("t2_committed", o.t2_committed)
+          .field("t3_committed", o.t3_committed)
+          .field("t2_t3_shared_base_objects", o.t2_t3_violations)
+          .field("strict_dap_violated", o.t2_t3_violations > 0));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "cm/managers.hpp"
@@ -19,6 +20,7 @@
 #include "foc/fo_consensus.hpp"
 #include "foc/foc_from_tm.hpp"
 #include "runtime/barrier.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -87,6 +89,14 @@ void BM_ContendedPropose(benchmark::State& state) {
   state.counters["abort_ratio"] =
       static_cast<double>(aborts) / static_cast<double>(decided);
   state.counters["threads"] = threads;
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "B5")
+          .field("scenario", "contended_propose")
+          .field("object", std::is_same_v<Foc, CasFoc> ? "cas" : "strict")
+          .field("threads", threads)
+          .field("decided", decided)
+          .field("aborts", aborts));
 }
 
 BENCHMARK(BM_ContendedPropose<CasFoc>)

@@ -13,9 +13,12 @@
 //     t-variable instead of an fo-consensus chain).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "cm/managers.hpp"
 #include "core/tm.hpp"
 #include "workload/factory.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -30,15 +33,38 @@ void BM_DepthCost(benchmark::State& state, const std::string& backend) {
     (void)tm->try_commit(*txn);
   }
   std::uint64_t next = depth + 1;
+  // Nanosecond-scale microbenchmark: nothing extra may run inside the
+  // timed loop (a clock read per iteration would inflate the very cost B4
+  // measures and break comparability with the committed baseline). The
+  // report's mean comes from bracketing the whole loop with two reads.
+  using Clock = std::chrono::steady_clock;
+  const auto loop_start = Clock::now();
   for (auto _ : state) {
     auto txn = tm->begin();
     benchmark::DoNotOptimize(tm->read(*txn, 0));
     (void)tm->write(*txn, 0, next++);
     (void)tm->try_commit(*txn);
   }
+  const auto loop_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           loop_start)
+          .count());
   state.SetLabel(backend);
   state.counters["depth"] = static_cast<double>(depth);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "B4")
+          .field("scenario", "version_depth")
+          .field("backend", backend)
+          .field("depth", depth)
+          .field("iterations",
+                 static_cast<std::uint64_t>(state.iterations()))
+          .field("mean_rmw_ns",
+                 state.iterations() > 0
+                     ? static_cast<double>(loop_ns) /
+                           static_cast<double>(state.iterations())
+                     : 0.0));
 }
 
 void register_all() {

@@ -12,6 +12,7 @@
 
 #include "runtime/epoch.hpp"
 #include "runtime/thread_registry.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -77,11 +78,22 @@ void BM_RetireUnderReaders(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["readers"] = readers;
   state.counters["leftover"] = static_cast<double>(mgr.retired_count());
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "B8")
+          .field("scenario", "retire_under_readers")
+          .field("readers", readers)
+          .field("retired", static_cast<std::uint64_t>(state.iterations()))
+          .field("leftover", static_cast<std::uint64_t>(mgr.retired_count())));
 }
+// Iterations pinned: the trailing report::emit must fire exactly once per
+// configuration, and google-benchmark's iteration-count calibration would
+// otherwise re-run the body (and the emit) once per trial.
 BENCHMARK(BM_RetireUnderReaders)
     ->Name("B8/retire_under_readers")
     ->Arg(1)
     ->Arg(4)
-    ->Arg(8);
+    ->Arg(8)
+    ->Iterations(50000);
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "workload/driver.hpp"
 #include "workload/factory.hpp"
+#include "workload/report.hpp"
 
 namespace {
 
@@ -23,8 +24,9 @@ const std::vector<std::string>& backends() {
   return names;
 }
 
-void run_mix(benchmark::State& state, double write_fraction,
-             AccessPattern pattern) {
+void run_mix(benchmark::State& state, const char* scenario,
+             double write_fraction, AccessPattern pattern,
+             double read_only_fraction = 0.0, double hot_op_fraction = 0.0) {
   const std::string backend = backends()[static_cast<std::size_t>(
       state.range(0))];
   const int threads = static_cast<int>(state.range(1));
@@ -41,9 +43,10 @@ void run_mix(benchmark::State& state, double write_fraction,
 
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
+  oftm::workload::RunResult merged;
+  WorkloadConfig config;
   for (auto _ : state) {
     auto tm = oftm::workload::make_tm(backend, 4096);
-    WorkloadConfig config;
     config.threads = threads;
     // Duration-based sweep: a fixed time budget per iteration keeps the
     // pathological combos (encounter-locking under hot-key contention on
@@ -53,12 +56,17 @@ void run_mix(benchmark::State& state, double write_fraction,
     config.run_seconds = 0.15;
     config.ops_per_tx = 6;
     config.write_fraction = write_fraction;
+    config.read_only_fraction = read_only_fraction;
+    config.hot_op_fraction = hot_op_fraction;
+    // hot_set_size stays 0: the driver default (num_tvars / 64 == 64 here)
+    // is exactly the 64-variable hot set BM_MixedRegimes documents.
     config.pattern = pattern;
     config.seed = 42;
     const auto r = oftm::workload::run_workload(*tm, config);
     state.SetIterationTime(r.seconds);
     committed += r.committed;
     aborted += r.aborted_attempts;
+    merged.accumulate_run(r);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(committed));
   state.counters["threads"] = threads;
@@ -67,23 +75,42 @@ void run_mix(benchmark::State& state, double write_fraction,
           ? static_cast<double>(aborted) / static_cast<double>(committed +
                                                                aborted)
           : 0.0;
+  state.counters["lat_p50_ns"] =
+      static_cast<double>(merged.commit_latency_ns.quantile(0.50));
+  state.counters["lat_p99_ns"] =
+      static_cast<double>(merged.commit_latency_ns.quantile(0.99));
   state.SetLabel(backend);
+  // One structured report line per measured configuration (all iterations
+  // merged), alongside google-benchmark's own output.
+  oftm::workload::report::emit_run("B1", scenario, backend, config, merged,
+                                   /*num_tvars=*/4096);
 }
 
 void BM_ReadMostly(benchmark::State& state) {
-  run_mix(state, /*write_fraction=*/0.1, AccessPattern::kUniform);
+  run_mix(state, "read_mostly", /*write_fraction=*/0.1,
+          AccessPattern::kUniform);
 }
 
 void BM_WriteHeavy(benchmark::State& state) {
-  run_mix(state, /*write_fraction=*/0.8, AccessPattern::kUniform);
+  run_mix(state, "write_heavy", /*write_fraction=*/0.8,
+          AccessPattern::kUniform);
 }
 
 void BM_ZipfContended(benchmark::State& state) {
-  run_mix(state, /*write_fraction=*/0.5, AccessPattern::kZipf);
+  run_mix(state, "zipf", /*write_fraction=*/0.5, AccessPattern::kZipf);
 }
 
 void BM_DisjointPartitions(benchmark::State& state) {
-  run_mix(state, /*write_fraction=*/0.8, AccessPattern::kPartitioned);
+  run_mix(state, "disjoint", /*write_fraction=*/0.8,
+          AccessPattern::kPartitioned);
+}
+
+// Mixed regime: mostly read-only transactions over a uniform working set,
+// with a quarter of the ops redirected into a 64-variable hot set — the
+// paper's contended and uncontended regimes in a single sweep.
+void BM_MixedRegimes(benchmark::State& state) {
+  run_mix(state, "mixed", /*write_fraction=*/0.5, AccessPattern::kUniform,
+          /*read_only_fraction=*/0.8, /*hot_op_fraction=*/0.25);
 }
 
 std::vector<std::vector<std::int64_t>> args_product() {
@@ -111,6 +138,10 @@ void register_all() {
         ->UseManualTime()
         ->Iterations(2);
     benchmark::RegisterBenchmark("B1/disjoint", BM_DisjointPartitions)
+        ->Args(args)
+        ->UseManualTime()
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("B1/mixed", BM_MixedRegimes)
         ->Args(args)
         ->UseManualTime()
         ->Iterations(2);

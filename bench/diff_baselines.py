@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Diff a fresh google-benchmark JSON file against the committed baselines.
+
+Usage:
+    bench/diff_baselines.py FRESH.json [BASELINE.json]
+        [--threshold 0.10] [--metric items_per_second] [--strict]
+
+BASELINE defaults to bench/baselines/<basename of FRESH>. Benchmarks are
+matched by name; only names present in both files are compared. For each
+pair the script prints a markdown table row with the metric delta and flags
+regressions worse than --threshold (default 10%). Exit status is 0 unless
+--strict is given, in which case any flagged regression exits 1 — CI runs
+it non-blocking (no --strict) and pastes the table into the job summary.
+
+Throughput metrics (items_per_second) regress downward; time metrics
+(real_time, cpu_time) regress upward — the script picks the direction from
+the metric name.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    """Map benchmark name -> entry for every aggregate-free run."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        # Repetition entries share a name; keep the first (google-benchmark
+        # orders repetitions before aggregates).
+        out.setdefault(entry["name"], entry)
+    return out
+
+
+def metric_of(entry, metric):
+    value = entry.get(metric)
+    if value is None and metric == "items_per_second":
+        # Benches that never call SetItemsProcessed fall back to real_time.
+        return entry.get("real_time"), "real_time"
+    return value, metric
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag throughput regressions against committed baselines")
+    parser.add_argument("fresh", help="freshly generated benchmark JSON")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline JSON (default: bench/baselines/<name>)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression to flag (default 0.10)")
+    parser.add_argument("--metric", default="items_per_second",
+                        help="benchmark field to compare")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 if any regression exceeds the threshold")
+    args = parser.parse_args()
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "baselines",
+            os.path.basename(args.fresh))
+    if not os.path.exists(baseline_path):
+        print(f"no baseline at {baseline_path}; nothing to diff", flush=True)
+        return 0
+
+    fresh = load_benchmarks(args.fresh)
+    base = load_benchmarks(baseline_path)
+    common = [name for name in base if name in fresh]
+    fresh_only = [name for name in fresh if name not in base]
+    if not common:
+        print("no common benchmark names between baseline and fresh run")
+        return 0
+
+    rows = []
+    flagged = []
+    skipped = []
+    for name in common:
+        base_value, base_metric = metric_of(base[name], args.metric)
+        fresh_value, fresh_metric = metric_of(fresh[name], args.metric)
+        if base_value in (None, 0) or fresh_value is None:
+            skipped.append((name, "metric missing or zero"))
+            continue
+        if base_metric != fresh_metric:
+            skipped.append(
+                (name, f"metric mismatch ({base_metric} vs {fresh_metric})"))
+            continue
+        delta = (fresh_value - base_value) / base_value
+        # For time-like metrics, bigger is worse.
+        lower_is_better = base_metric.endswith("_time")
+        regressed = (delta > args.threshold if lower_is_better
+                     else delta < -args.threshold)
+        rows.append((name, base_metric, base_value, fresh_value, delta,
+                     regressed))
+        if regressed:
+            flagged.append(name)
+
+    print(f"### Bench diff vs `{os.path.basename(baseline_path)}` "
+          f"({len(rows)} compared, threshold {args.threshold:.0%})\n")
+    print("| benchmark | metric | baseline | fresh | delta | |")
+    print("| --- | --- | ---: | ---: | ---: | --- |")
+    for name, metric, base_value, fresh_value, delta, regressed in rows:
+        mark = "🔴 regression" if regressed else ""
+        print(f"| `{name}` | {metric} | {base_value:.3g} | {fresh_value:.3g} "
+              f"| {delta:+.1%} | {mark} |")
+    print()
+    if skipped:
+        # A pair dropped from the table must not read as "no regression".
+        for name, why in skipped[:10]:
+            print(f"- `{name}` present in both files but **not compared**: "
+                  f"{why}")
+        if len(skipped) > 10:
+            print(f"- … +{len(skipped) - 10} more uncompared pairs")
+        print()
+    if fresh_only:
+        # Not comparing a benchmark is not the same as it passing — say so.
+        shown = ", ".join(f"`{name}`" for name in fresh_only[:5])
+        more = f", … +{len(fresh_only) - 5} more" if len(fresh_only) > 5 else ""
+        print(f"{len(fresh_only)} benchmark(s) in the fresh run have no "
+              f"baseline and were **not compared**: {shown}{more}. "
+              "Re-record the baseline to cover them.\n")
+    if flagged:
+        print(f"**{len(flagged)} regression(s) beyond "
+              f"{args.threshold:.0%}.** Baselines were recorded on the "
+              "reference box; rule out machine noise before acting.")
+    else:
+        print("No regressions beyond the threshold.")
+
+    return 1 if (flagged and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,12 @@ std::uint64_t Log2Histogram::quantile(double q) const noexcept {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
     if (static_cast<double>(seen) >= target) {
-      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+      // The top bucket is clamped (it absorbs everything >= 2^63, whose
+      // nominal upper bound 2^64 - 1 would overstate wildly), so answer
+      // with the exact observed maximum there instead.
+      if (i == 0) return 0;
+      if (i == kBuckets - 1) return max_;
+      return (std::uint64_t{1} << i) - 1;
     }
   }
   return max_;

@@ -49,9 +49,16 @@ class Log2Histogram {
  public:
   static constexpr int kBuckets = 64;
 
-  void record(std::uint64_t v) noexcept {
+  // Bucket index for a value: bucket 0 holds {0}, bucket b >= 1 holds
+  // [2^(b-1), 2^b). Values with bit 63 set (bit_width 64) are clamped into
+  // the top bucket — without the clamp they would index one past the array.
+  static constexpr int bucket_of(std::uint64_t v) noexcept {
     const int b = v == 0 ? 0 : 64 - __builtin_clzll(v);
-    ++buckets_[b];
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[bucket_of(v)];
     ++count_;
     sum_ += v;
     if (v > max_) max_ = v;

@@ -6,6 +6,7 @@
 
 #include "runtime/assert.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/cacheline.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/xorshift.hpp"
 #include "workload/zipf.hpp"
@@ -19,22 +20,146 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
 // Unique-writes discipline: no two writes anywhere produce the same value,
 // and no write produces the initial value 0.
 core::Value unique_value(int thread, std::uint64_t counter) {
   return (static_cast<core::Value>(thread + 1) << 40) | (counter + 1);
 }
 
+constexpr int kMaxOpsPerTx = 64;
+
+// One pre-generated logical transaction: its access list plus a write
+// bitmask (bit k set == op k is a read-modify-write).
+struct TxSpec {
+  core::TVarId vars[kMaxOpsPerTx];
+  std::uint64_t write_mask = 0;
+};
+
+// Number of pre-generated transaction specs each worker cycles through
+// (count mode with fewer transactions allocates only tx_per_thread). Large
+// enough that recycling does not visibly narrow the access distribution,
+// small enough that a worker's spec ring (1024 * 520 B ≈ 0.5 MiB) stays
+// cache-resident instead of evicting the TM's own metadata.
+constexpr std::size_t kArenaSpecs = 1024;
+
+// Everything a worker touches on the hot path, isolated on its own cache
+// line(s): pre-generated access lists, private result counters and
+// histograms. No shared writes until flush at run end.
+struct alignas(runtime::kCacheLineSize) WorkerArena {
+  std::vector<TxSpec> specs;
+  RunResult local;
+};
+
+// Draw the access lists for one worker into its arena, before the start
+// barrier, so generation cost (PRNG, zipf rejection sampling) is entirely
+// off the measured path and patterns stay reproducible per (seed, thread).
+void pregenerate_specs(WorkerArena& arena, const WorkloadConfig& config,
+                       std::size_t n, int t) {
+  runtime::Xoshiro256 rng(runtime::mix64(config.seed * 1000003 +
+                                         static_cast<std::uint64_t>(t)));
+  ZipfSampler zipf(n, config.zipf_s,
+                   runtime::mix64(config.seed ^ (t * 7919 + 13)));
+  const PartitionBounds part = partition_bounds(n, config.threads, t);
+  const std::size_t hot_n =
+      config.hot_set_size > 0
+          ? (config.hot_set_size < n ? config.hot_set_size : n)
+          : (n / 64 > 0 ? n / 64 : 1);
+
+  const bool timed = config.run_seconds > 0;
+  const std::size_t count =
+      timed ? kArenaSpecs
+            : (config.tx_per_thread < kArenaSpecs
+                   ? static_cast<std::size_t>(config.tx_per_thread)
+                   : kArenaSpecs);
+  arena.specs.resize(count > 0 ? count : 1);
+
+  const int ops =
+      config.ops_per_tx <= kMaxOpsPerTx ? config.ops_per_tx : kMaxOpsPerTx;
+  for (TxSpec& spec : arena.specs) {
+    const bool read_only = rng.next_bool(config.read_only_fraction);
+    for (int k = 0; k < ops; ++k) {
+      std::size_t x = 0;
+      if (config.hot_op_fraction > 0 && rng.next_bool(config.hot_op_fraction)) {
+        x = rng.next_range(hot_n);  // HotSpot overlay
+      } else {
+        switch (config.pattern) {
+          case AccessPattern::kUniform:
+            x = rng.next_range(n);
+            break;
+          case AccessPattern::kZipf:
+            x = zipf.next();
+            break;
+          case AccessPattern::kPartitioned:
+            x = part.base + rng.next_range(part.size);
+            break;
+        }
+      }
+      spec.vars[k] = static_cast<core::TVarId>(x);
+      if (!read_only && rng.next_bool(config.write_fraction)) {
+        spec.write_mask |= std::uint64_t{1} << k;
+      }
+    }
+  }
+}
+
 }  // namespace
 
+PartitionBounds partition_bounds(std::size_t num_tvars, int threads,
+                                 int thread) {
+  OFTM_ASSERT(threads >= 1);
+  OFTM_ASSERT(thread >= 0 && thread < threads);
+  const std::size_t part_size = num_tvars / static_cast<std::size_t>(threads);
+  PartitionBounds b;
+  b.base = static_cast<std::size_t>(thread) * part_size;
+  // Fold the n % threads remainder into the last partition so "fully
+  // disjoint" sweeps use every t-variable.
+  b.size = thread == threads - 1 ? num_tvars - b.base : part_size;
+  return b;
+}
+
+void RunResult::merge_from(const RunResult& o) {
+  committed += o.committed;
+  aborted_attempts += o.aborted_attempts;
+  gave_up += o.gave_up;
+  commit_latency_ns += o.commit_latency_ns;
+  retries_per_commit += o.retries_per_commit;
+  per_thread_committed.insert(per_thread_committed.end(),
+                              o.per_thread_committed.begin(),
+                              o.per_thread_committed.end());
+}
+
+void RunResult::accumulate_run(const RunResult& o) {
+  seconds += o.seconds;
+  committed += o.committed;
+  aborted_attempts += o.aborted_attempts;
+  gave_up += o.gave_up;
+  commit_latency_ns += o.commit_latency_ns;
+  retries_per_commit += o.retries_per_commit;
+  if (per_thread_committed.size() < o.per_thread_committed.size()) {
+    per_thread_committed.resize(o.per_thread_committed.size(), 0);
+  }
+  for (std::size_t i = 0; i < o.per_thread_committed.size(); ++i) {
+    per_thread_committed[i] += o.per_thread_committed[i];
+  }
+  tm_stats += o.tm_stats;
+}
+
 std::string RunResult::to_string() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "%.3fs committed=%llu aborted=%llu gave_up=%llu "
-                "throughput=%.0f tx/s",
+                "throughput=%.0f tx/s latency[p50<=%lluns p99<=%lluns]",
                 seconds, static_cast<unsigned long long>(committed),
                 static_cast<unsigned long long>(aborted_attempts),
-                static_cast<unsigned long long>(gave_up), throughput());
+                static_cast<unsigned long long>(gave_up), throughput(),
+                static_cast<unsigned long long>(commit_latency_ns.quantile(0.5)),
+                static_cast<unsigned long long>(
+                    commit_latency_ns.quantile(0.99)));
   return buf;
 }
 
@@ -46,64 +171,41 @@ RunResult run_workload(core::TransactionalMemory& tm,
 
   runtime::SpinBarrier barrier(static_cast<std::uint32_t>(config.threads) + 1);
   std::vector<std::thread> workers;
-  std::vector<RunResult> partial(static_cast<std::size_t>(config.threads));
+  std::vector<WorkerArena> arenas(static_cast<std::size_t>(config.threads));
 
   for (int t = 0; t < config.threads; ++t) {
     workers.emplace_back([&, t] {
       if (config.pin_threads) runtime::pin_current_thread(t);
-      runtime::Xoshiro256 rng(runtime::mix64(config.seed * 1000003 +
-                                             static_cast<std::uint64_t>(t)));
-      ZipfSampler zipf(n, config.zipf_s,
-                       runtime::mix64(config.seed ^ (t * 7919 + 13)));
-      RunResult& mine = partial[static_cast<std::size_t>(t)];
+      WorkerArena& arena = arenas[static_cast<std::size_t>(t)];
+      pregenerate_specs(arena, config, n, t);
+      RunResult& mine = arena.local;
+      // Per-op write decisions are baked into the specs; the value counter
+      // is the only generation state left on the hot path.
       std::uint64_t value_counter = 0;
-
-      // Pre-generate per-transaction var sets so generation cost is off the
-      // measured path as much as possible and patterns are reproducible.
-      const std::size_t part_size = n / static_cast<std::size_t>(config.threads);
-      const std::size_t part_base = static_cast<std::size_t>(t) * part_size;
 
       barrier.arrive_and_wait();
 
-      // Duration mode: poll the clock only every few transactions so the
-      // deadline check stays off the measured hot path.
       const bool timed = config.run_seconds > 0;
       const auto deadline =
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double>(config.run_seconds));
-      constexpr std::uint64_t kDeadlineCheckMask = 15;
+      const int ops =
+          config.ops_per_tx <= kMaxOpsPerTx ? config.ops_per_tx : kMaxOpsPerTx;
+      const std::size_t spec_count = arena.specs.size();
 
       for (std::uint64_t i = 0; timed || i < config.tx_per_thread; ++i) {
-        if (timed && (i & kDeadlineCheckMask) == 0 &&
-            Clock::now() >= deadline) {
-          break;
-        }
-        // Draw the access list for this logical transaction once; retries
-        // replay the same accesses (it is the same transaction restarted).
-        core::TVarId vars[64];
-        bool is_write[64];
-        const int ops = config.ops_per_tx <= 64 ? config.ops_per_tx : 64;
-        for (int k = 0; k < ops; ++k) {
-          std::size_t x = 0;
-          switch (config.pattern) {
-            case AccessPattern::kUniform:
-              x = rng.next_range(n);
-              break;
-            case AccessPattern::kZipf:
-              x = zipf.next();
-              break;
-            case AccessPattern::kPartitioned:
-              x = part_base + rng.next_range(part_size);
-              break;
-          }
-          vars[k] = static_cast<core::TVarId>(x);
-          is_write[k] = rng.next_bool(config.write_fraction);
-        }
+        // The per-transaction latency timestamp doubles as the duration-mode
+        // deadline check — no extra clock reads on the hot path.
+        const auto tx_start = Clock::now();
+        if (timed && tx_start >= deadline) break;
+        // Cycle the pre-generated access lists; retries replay the same
+        // accesses (it is the same transaction restarted).
+        const TxSpec& spec = arena.specs[i % spec_count];
 
         bool done = false;
         bool expired = false;
-        for (int attempt = 0; attempt < config.max_retries && !done;
-             ++attempt) {
+        int attempt = 0;
+        for (; attempt < config.max_retries && !done; ++attempt) {
           // In duration mode the retry loop must also honour the deadline:
           // a hot-key transaction can otherwise spin through max_retries
           // (seconds of wall time) long after the budget ran out.
@@ -114,26 +216,33 @@ RunResult run_workload(core::TransactionalMemory& tm,
           core::TxnPtr txn = tm.begin();
           bool ok = true;
           for (int k = 0; k < ops && ok; ++k) {
-            if (is_write[k]) {
+            if ((spec.write_mask >> k) & 1) {
               // Read-modify-write discipline: every write is preceded by a
               // read of the same t-variable. Besides being the realistic
               // access shape, it lets the history checker reconstruct
               // per-variable version orders exactly (see
               // history/checker.hpp).
-              ok = tm.read(*txn, vars[k]).has_value() &&
-                   tm.write(*txn, vars[k], unique_value(t, value_counter++));
+              ok = tm.read(*txn, spec.vars[k]).has_value() &&
+                   tm.write(*txn, spec.vars[k],
+                            unique_value(t, value_counter++));
             } else {
-              ok = tm.read(*txn, vars[k]).has_value();
+              ok = tm.read(*txn, spec.vars[k]).has_value();
             }
           }
           if (ok && tm.try_commit(*txn)) {
             ++mine.committed;
+            mine.commit_latency_ns.record(ns_between(tx_start, Clock::now()));
+            mine.retries_per_commit.record(static_cast<std::uint64_t>(attempt));
             done = true;
           } else {
             ++mine.aborted_attempts;
           }
         }
-        if (expired) break;  // in-flight transaction dropped, not a gave_up
+        // Expired mid-retry: the unfinished logical transaction is simply
+        // abandoned (its failed attempts are already counted in
+        // aborted_attempts; no TM transaction is live here). It is not a
+        // gave_up — it never exhausted max_retries.
+        if (expired) break;
         if (!done) ++mine.gave_up;
       }
       barrier.arrive_and_wait();
@@ -146,12 +255,13 @@ RunResult run_workload(core::TransactionalMemory& tm,
   const auto stop = Clock::now();
   for (auto& w : workers) w.join();
 
+  // Single flush point: per-worker arenas merge into the aggregate only
+  // after every worker has passed the end barrier.
   RunResult total;
   total.seconds = seconds_between(start, stop);
-  for (const RunResult& p : partial) {
-    total.committed += p.committed;
-    total.aborted_attempts += p.aborted_attempts;
-    total.gave_up += p.gave_up;
+  for (WorkerArena& arena : arenas) {
+    arena.local.per_thread_committed.assign(1, arena.local.committed);
+    total.merge_from(arena.local);
   }
   total.tm_stats = tm.stats();
   return total;
@@ -160,7 +270,7 @@ RunResult run_workload(core::TransactionalMemory& tm,
 RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
                             std::uint64_t tx_per_thread, std::size_t accounts,
                             core::Value initial_balance, std::uint64_t seed,
-                            bool* invariant_ok) {
+                            bool* invariant_ok, bool pin_threads) {
   OFTM_ASSERT(accounts >= 2);
   OFTM_ASSERT(tm.num_tvars() >= accounts);
 
@@ -176,25 +286,28 @@ RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
 
   runtime::SpinBarrier barrier(static_cast<std::uint32_t>(threads) + 1);
   std::vector<std::thread> workers;
-  std::vector<RunResult> partial(static_cast<std::size_t>(threads));
+  std::vector<WorkerArena> arenas(static_cast<std::size_t>(threads));
 
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      runtime::pin_current_thread(t);
+      if (pin_threads) runtime::pin_current_thread(t);
       runtime::Xoshiro256 rng(runtime::mix64(seed + 31 * t));
-      RunResult& mine = partial[static_cast<std::size_t>(t)];
+      RunResult& mine = arenas[static_cast<std::size_t>(t)].local;
       barrier.arrive_and_wait();
       for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
         const auto from = static_cast<core::TVarId>(rng.next_range(accounts));
         auto to = static_cast<core::TVarId>(rng.next_range(accounts));
         if (to == from) to = static_cast<core::TVarId>((to + 1) % accounts);
         const core::Value amount = rng.next_range(10) + 1;
+        const auto tx_start = Clock::now();
+        std::uint64_t attempts = 0;
         bool done = false;
         while (!done) {
           core::TxnPtr txn = tm.begin();
           const auto fb = tm.read(*txn, from);
           if (!fb) {
             ++mine.aborted_attempts;
+            ++attempts;
             continue;
           }
           if (*fb < amount) {
@@ -206,9 +319,12 @@ RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
           if (!tb || !tm.write(*txn, from, *fb - amount) ||
               !tm.write(*txn, to, *tb + amount) || !tm.try_commit(*txn)) {
             ++mine.aborted_attempts;
+            ++attempts;
             continue;
           }
           ++mine.committed;
+          mine.commit_latency_ns.record(ns_between(tx_start, Clock::now()));
+          mine.retries_per_commit.record(attempts);
           done = true;
         }
       }
@@ -232,9 +348,9 @@ RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
 
   RunResult total;
   total.seconds = seconds_between(start, stop);
-  for (const RunResult& p : partial) {
-    total.committed += p.committed;
-    total.aborted_attempts += p.aborted_attempts;
+  for (WorkerArena& arena : arenas) {
+    arena.local.per_thread_committed.assign(1, arena.local.committed);
+    total.merge_from(arena.local);
   }
   total.tm_stats = tm.stats();
   return total;

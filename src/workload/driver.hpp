@@ -1,7 +1,14 @@
 // Multi-threaded workload driver: generates transactional workloads against
-// any core::TransactionalMemory, measures throughput/abort behaviour, and
-// (optionally) enforces the unique-writes discipline plus an invariant the
-// checkers can verify afterwards.
+// any core::TransactionalMemory, measures throughput/abort behaviour and
+// per-transaction commit latency, and (optionally) enforces the
+// unique-writes discipline plus an invariant the checkers can verify
+// afterwards.
+//
+// Scaling design: each worker owns a cache-line-isolated arena (its
+// pre-generated access lists, its RunResult counters and its latency
+// histograms). The hot path touches only that arena; results are flushed
+// into the shared aggregate exactly once, at run end, so driver overhead
+// stays flat as thread counts grow.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +38,17 @@ struct WorkloadConfig {
   double run_seconds = 0;
   int ops_per_tx = 8;
   double write_fraction = 0.2;  // probability an op is a write
+  // Mixed-regime knobs, so one sweep covers the paper's contended and
+  // uncontended regimes at once:
+  //  * read_only_fraction — probability a whole transaction is read-only
+  //    (its ops ignore write_fraction). The ReadMostly regime at 0.8+.
+  //  * hot_op_fraction / hot_set_size — per-op probability of redirecting
+  //    the access into the first hot_set_size t-variables (a HotSpot
+  //    overlay on any base pattern). hot_set_size == 0 defaults to
+  //    max(1, num_tvars / 64).
+  double read_only_fraction = 0.0;
+  double hot_op_fraction = 0.0;
+  std::size_t hot_set_size = 0;
   AccessPattern pattern = AccessPattern::kUniform;
   double zipf_s = 0.99;
   std::uint64_t seed = 42;
@@ -38,16 +56,49 @@ struct WorkloadConfig {
   bool pin_threads = true;
 };
 
+// t-variable range [base, base + size) owned by thread t under
+// AccessPattern::kPartitioned. The remainder when n is not a multiple of
+// threads is folded into the last partition so the union always covers
+// [0, n) exactly.
+struct PartitionBounds {
+  std::size_t base = 0;
+  std::size_t size = 0;
+};
+PartitionBounds partition_bounds(std::size_t num_tvars, int threads,
+                                 int thread);
+
+// Structured per-run report. Per-worker instances accumulate privately
+// during the run and are merged (merge_from) into the returned aggregate
+// after the workers join.
 struct RunResult {
   double seconds = 0;
   std::uint64_t committed = 0;
   std::uint64_t aborted_attempts = 0;
   std::uint64_t gave_up = 0;  // transactions that hit max_retries
+  // Wall time from a logical transaction's first begin() to its successful
+  // commit, retries included, in nanoseconds. count() == committed.
+  runtime::Log2Histogram commit_latency_ns;
+  // Aborted attempts a committed transaction burned before succeeding
+  // (0 == first-try commit). count() == committed.
+  runtime::Log2Histogram retries_per_commit;
+  // Commits per worker, in thread order — the per-thread skew the fairness
+  // analysis reads (a starved worker shows up as a small entry).
+  std::vector<std::uint64_t> per_thread_committed;
   runtime::TxStats tm_stats;
 
   double throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
   }
+  // Worker flush: concatenates o's per-thread entries after this one's
+  // (the callers in driver.cpp merge workers in thread order). Does not
+  // touch seconds/tm_stats — those are whole-run properties the driver
+  // fills in once.
+  void merge_from(const RunResult& o);
+  // Fold a later run of the same configuration (e.g. another benchmark
+  // iteration) into this one: counters and histograms add, seconds
+  // extends, per-thread commits add element-wise so entry i stays "worker
+  // i" across iterations, tm_stats accumulates.
+  void accumulate_run(const RunResult& o);
   std::string to_string() const;
 };
 
@@ -61,9 +112,11 @@ RunResult run_workload(core::TransactionalMemory& tm,
 // each start with `initial_balance`; every transaction moves a random
 // amount between two accounts. After the run, the sum of balances must be
 // accounts * initial_balance. Returns false (in *invariant_ok) on violation.
+// pin_threads defaults like WorkloadConfig; pass false for oversubscribed
+// runs (threads > cores).
 RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
                             std::uint64_t tx_per_thread, std::size_t accounts,
                             core::Value initial_balance, std::uint64_t seed,
-                            bool* invariant_ok);
+                            bool* invariant_ok, bool pin_threads = true);
 
 }  // namespace oftm::workload

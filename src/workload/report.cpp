@@ -1,0 +1,229 @@
+#include "workload/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace oftm::workload::report {
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::key_prefix(std::string_view key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += escape(key);
+  body_ += "\":";
+}
+
+Json& Json::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  body_ += '"';
+  body_ += escape(value);
+  body_ += '"';
+  return *this;
+}
+
+Json& Json::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+Json& Json::field(std::string_view key, double value) {
+  key_prefix(key);
+  append_number(body_, value);
+  return *this;
+}
+
+Json& Json::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  append_number(body_, value);
+  return *this;
+}
+
+Json& Json::field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  append_number(body_, value);
+  return *this;
+}
+
+Json& Json::field(std::string_view key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+
+Json& Json::field(std::string_view key, bool value) {
+  key_prefix(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+Json& Json::field_raw(std::string_view key, std::string_view json) {
+  key_prefix(key);
+  body_ += json;
+  return *this;
+}
+
+std::string Json::str() const { return "{" + body_ + "}"; }
+
+std::string to_json(const runtime::Log2Histogram& h) {
+  return Json()
+      .field("count", h.count())
+      .field("mean", h.mean())
+      .field("p50", h.quantile(0.50))
+      .field("p90", h.quantile(0.90))
+      .field("p99", h.quantile(0.99))
+      .field("max", h.max())
+      .str();
+}
+
+std::string to_json(const runtime::TxStats& s) {
+  return Json()
+      .field("commits", s.commits)
+      .field("aborts", s.aborts)
+      .field("forced_aborts", s.forced_aborts)
+      .field("abort_ratio", s.abort_ratio())
+      .field("reads", s.reads)
+      .field("writes", s.writes)
+      .field("cm_backoffs", s.cm_backoffs)
+      .field("victim_kills", s.victim_kills)
+      .str();
+}
+
+std::string to_json(const RunResult& r) {
+  Json j;
+  j.field("seconds", r.seconds)
+      .field("committed", r.committed)
+      .field("aborted_attempts", r.aborted_attempts)
+      .field("gave_up", r.gave_up)
+      .field("throughput_tx_s", r.throughput())
+      .field_raw("commit_latency_ns", to_json(r.commit_latency_ns))
+      .field_raw("retries_per_commit", to_json(r.retries_per_commit));
+
+  // Per-thread skew: min/max commits per worker and the imbalance ratio
+  // (max/mean; 1.0 == perfectly fair). A starved worker drives it up.
+  if (!r.per_thread_committed.empty()) {
+    const auto [lo, hi] = std::minmax_element(r.per_thread_committed.begin(),
+                                              r.per_thread_committed.end());
+    const double mean =
+        static_cast<double>(r.committed) /
+        static_cast<double>(r.per_thread_committed.size());
+    std::string arr = "[";
+    for (std::size_t i = 0; i < r.per_thread_committed.size(); ++i) {
+      if (i > 0) arr += ',';
+      append_number(arr, r.per_thread_committed[i]);
+    }
+    arr += ']';
+    j.field_raw(
+        "per_thread",
+        Json()
+            .field("entries",
+                   static_cast<std::uint64_t>(r.per_thread_committed.size()))
+            .field("min_committed", *lo)
+            .field("max_committed", *hi)
+            .field("imbalance",
+                   mean > 0 ? static_cast<double>(*hi) / mean : 0.0)
+            .field_raw("committed", arr)
+            .str());
+  }
+  j.field_raw("tm_stats", to_json(r.tm_stats));
+  return j.str();
+}
+
+void emit(const Json& record) {
+  // One process-wide sink; serialized so concurrent benchmark fixtures
+  // cannot interleave half-lines.
+  static std::mutex mu;
+  std::scoped_lock guard(mu);
+  static std::FILE* sink = [] {
+    const char* path = std::getenv("OFTM_REPORT_FILE");
+    if (path != nullptr && *path != '\0') {
+      std::FILE* f = std::fopen(path, "a");
+      if (f != nullptr) return f;
+      std::fprintf(stderr, "report: cannot open %s, using stdout\n", path);
+    }
+    return stdout;
+  }();
+  const std::string line = record.str();
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fputc('\n', sink);
+  std::fflush(sink);
+}
+
+void emit_run(std::string_view bench, std::string_view scenario,
+              std::string_view backend, const WorkloadConfig& config,
+              const RunResult& result, std::size_t num_tvars) {
+  const char* pattern = "uniform";
+  switch (config.pattern) {
+    case AccessPattern::kUniform: pattern = "uniform"; break;
+    case AccessPattern::kZipf: pattern = "zipf"; break;
+    case AccessPattern::kPartitioned: pattern = "partitioned"; break;
+  }
+  Json cfg;
+  if (num_tvars > 0) {
+    cfg.field("num_tvars", static_cast<std::uint64_t>(num_tvars));
+  }
+  cfg.field("threads", config.threads)
+      .field("tx_per_thread", config.tx_per_thread)
+      .field("run_seconds", config.run_seconds)
+      .field("ops_per_tx", config.ops_per_tx)
+      .field("write_fraction", config.write_fraction)
+      .field("read_only_fraction", config.read_only_fraction)
+      .field("hot_op_fraction", config.hot_op_fraction)
+      .field("hot_set_size", static_cast<std::uint64_t>(config.hot_set_size))
+      .field("pattern", pattern)
+      .field("zipf_s", config.zipf_s)
+      .field("seed", config.seed)
+      .field("max_retries", config.max_retries);
+  Json j;
+  j.field("bench", bench)
+      .field("scenario", scenario)
+      .field("backend", backend)
+      .field_raw("config", cfg.str())
+      .field_raw("result", to_json(result));
+  emit(j);
+}
+
+}  // namespace oftm::workload::report

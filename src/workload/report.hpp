@@ -1,0 +1,67 @@
+// Structured run reports: the one JSON emitter every bench shares.
+//
+// Each measured configuration becomes one self-describing JSON line
+// (JSON-lines, not one big document, so partially-completed runs still
+// yield parseable output and `grep '"bench":"B1"'` works). Destination:
+// the file named by $OFTM_REPORT_FILE (appended), else stdout. The bench
+// diff tooling (bench/diff_baselines.py) and the README "Measuring"
+// section document the schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runtime/stats.hpp"
+#include "workload/driver.hpp"
+
+namespace oftm::workload::report {
+
+// Minimal JSON object builder — no external dependency, insertion-ordered,
+// strings escaped. Nested objects/arrays go in via field_raw.
+class Json {
+ public:
+  Json& field(std::string_view key, std::string_view value);
+  Json& field(std::string_view key, const char* value);
+  Json& field(std::string_view key, double value);
+  Json& field(std::string_view key, std::uint64_t value);
+  Json& field(std::string_view key, std::int64_t value);
+  Json& field(std::string_view key, int value);
+  Json& field(std::string_view key, bool value);
+  // Splice pre-rendered JSON (an object, array or number) under key.
+  Json& field_raw(std::string_view key, std::string_view json);
+
+  std::string str() const;  // "{...}"
+
+ private:
+  void key_prefix(std::string_view key);
+  std::string body_;
+};
+
+std::string escape(std::string_view s);
+
+// Histogram summary: {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,
+// "max":..} (quantiles are log2-bucket upper bounds).
+std::string to_json(const runtime::Log2Histogram& h);
+
+// Backend-side counters: commits/aborts/reads/writes/backoffs/kills.
+std::string to_json(const runtime::TxStats& s);
+
+// The full structured run report: wall time, throughput, abort breakdown,
+// commit-latency and retry histograms, per-thread commit skew
+// (min/max/imbalance across workers).
+std::string to_json(const RunResult& r);
+
+// Emit one record (appends a newline). Honours $OFTM_REPORT_FILE.
+void emit(const Json& record);
+
+// The common case: a driver-measured run. scenario names the mix
+// ("read_mostly", "zipf", ...); the config's knobs are inlined so a report
+// line is reproducible without the source. num_tvars is the working-set
+// size the TM was built with (it lives outside WorkloadConfig); 0 omits
+// the field.
+void emit_run(std::string_view bench, std::string_view scenario,
+              std::string_view backend, const WorkloadConfig& config,
+              const RunResult& result, std::size_t num_tvars = 0);
+
+}  // namespace oftm::workload::report

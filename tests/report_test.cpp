@@ -1,0 +1,131 @@
+// Tests for the shared structured-report layer (workload/report.hpp): JSON
+// escaping and shape, RunResult serialization, and the $OFTM_REPORT_FILE
+// sink every bench funnels through.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "workload/driver.hpp"
+#include "workload/factory.hpp"
+#include "workload/report.hpp"
+
+namespace oftm::workload::report {
+namespace {
+
+// Minimal structural validation: balanced braces/brackets outside strings,
+// no trailing garbage. Not a full parser, but catches the emitter bugs that
+// matter (unescaped quotes, dropped commas leave imbalance downstream).
+bool balanced_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Json, FieldsAreOrderedAndTyped) {
+  const std::string s = Json()
+                            .field("name", "tl2")
+                            .field("threads", 8)
+                            .field("ratio", 0.25)
+                            .field("ok", true)
+                            .field_raw("nested", "{\"a\":1}")
+                            .str();
+  EXPECT_EQ(s,
+            "{\"name\":\"tl2\",\"threads\":8,\"ratio\":0.25,\"ok\":true,"
+            "\"nested\":{\"a\":1}}");
+}
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  const std::string s =
+      Json().field("k", "a\"b\\c\nd\te\x01").str();
+  EXPECT_EQ(s, "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+  EXPECT_TRUE(balanced_json(s));
+}
+
+TEST(Report, HistogramJsonHasQuantiles) {
+  runtime::Log2Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const std::string s = to_json(h);
+  EXPECT_TRUE(balanced_json(s));
+  EXPECT_NE(s.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(s.find("\"p50\""), std::string::npos);
+  EXPECT_NE(s.find("\"p99\""), std::string::npos);
+  EXPECT_NE(s.find("\"max\":100"), std::string::npos);
+}
+
+TEST(Report, RunResultJsonCarriesTheStructuredReport) {
+  auto tm = make_tm("tl2", 32);
+  WorkloadConfig config;
+  config.threads = 2;
+  config.tx_per_thread = 200;
+  const RunResult r = run_workload(*tm, config);
+  const std::string s = to_json(r);
+  EXPECT_TRUE(balanced_json(s));
+  // Latency quantiles, abort breakdown, per-thread skew: the three report
+  // sections the measurement layer promises.
+  EXPECT_NE(s.find("\"commit_latency_ns\""), std::string::npos);
+  EXPECT_NE(s.find("\"retries_per_commit\""), std::string::npos);
+  EXPECT_NE(s.find("\"aborted_attempts\""), std::string::npos);
+  EXPECT_NE(s.find("\"gave_up\""), std::string::npos);
+  EXPECT_NE(s.find("\"per_thread\""), std::string::npos);
+  EXPECT_NE(s.find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(s.find("\"tm_stats\""), std::string::npos);
+  EXPECT_NE(s.find("\"committed\":400"), std::string::npos);
+}
+
+TEST(Report, EmitAppendsJsonLinesToReportFile) {
+  // The sink is latched on first use, so this test sets the environment
+  // before any emit in this process — keep it the only emitting test in
+  // this binary.
+  char path[] = "/tmp/oftm_report_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(setenv("OFTM_REPORT_FILE", path, 1), 0);
+
+  auto tm = make_tm("norec", 32);
+  WorkloadConfig config;
+  config.threads = 2;
+  config.tx_per_thread = 100;
+  const RunResult r = run_workload(*tm, config);
+  emit_run("T1", "unit", "norec", config, r, /*num_tvars=*/32);
+  emit(Json().field("bench", "T1").field("row", 2));
+
+  std::ifstream in(path);
+  std::string line1, line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_TRUE(balanced_json(line1));
+  EXPECT_NE(line1.find("\"bench\":\"T1\""), std::string::npos);
+  EXPECT_NE(line1.find("\"backend\":\"norec\""), std::string::npos);
+  EXPECT_NE(line1.find("\"read_only_fraction\""), std::string::npos);
+  EXPECT_NE(line1.find("\"num_tvars\":32"), std::string::npos);
+  EXPECT_NE(line1.find("\"commit_latency_ns\""), std::string::npos);
+  EXPECT_EQ(line2, "{\"bench\":\"T1\",\"row\":2}");
+
+  close(fd);
+  std::remove(path);
+  unsetenv("OFTM_REPORT_FILE");
+}
+
+}  // namespace
+}  // namespace oftm::workload::report

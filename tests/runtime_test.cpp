@@ -150,6 +150,37 @@ TEST(Log2Histogram, QuantilesBracketRecordedValues) {
   EXPECT_NEAR(h.mean(), 512.5, 1.0);
 }
 
+// Regression: record() used to compute bucket 64 - clz(v) == 64 for any
+// value with bit 63 set and write one past buckets_[63]. Run under ASan
+// (cmake --preset asan) to certify the fix.
+TEST(Log2Histogram, TopBucketValuesStayInBounds) {
+  constexpr std::uint64_t kTop = std::uint64_t{1} << 63;
+  EXPECT_EQ(Log2Histogram::bucket_of(~0ull), Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(kTop), Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(kTop - 1), Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1);
+
+  Log2Histogram h;
+  h.record(~0ull);
+  h.record(kTop);
+  h.record(1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), ~0ull);
+  // quantile() must agree with the clamp: the top bucket's nominal upper
+  // bound (2^64 - 1 via 1 << 64) would be UB, so it answers with the
+  // observed maximum.
+  EXPECT_EQ(h.quantile(1.0), ~0ull);
+  EXPECT_EQ(h.quantile(0.9), ~0ull);
+  EXPECT_EQ(h.quantile(0.1), 1u);
+
+  Log2Histogram other;
+  other.record(~0ull);
+  h += other;
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.quantile(1.0), ~0ull);
+}
+
 // --- PRNG -------------------------------------------------------------------
 
 TEST(Xoshiro, RangeIsRespected) {

@@ -60,6 +60,189 @@ TEST(Zipf, ZeroSkewIsUniformish) {
   }
 }
 
+// Forwarding decorator whose try_commit always fails: every logical
+// transaction retries until max_retries (count mode) or the deadline
+// (duration mode), which is exactly the accounting the expired/gave-up
+// tests need to pin down.
+class AlwaysAbortCommitTm : public core::TransactionalMemory {
+ public:
+  explicit AlwaysAbortCommitTm(core::TransactionalMemory& inner)
+      : inner_(inner) {}
+
+  core::TxnPtr begin() override { return inner_.begin(); }
+  std::optional<core::Value> read(core::Transaction& txn,
+                                  core::TVarId x) override {
+    return inner_.read(txn, x);
+  }
+  bool write(core::Transaction& txn, core::TVarId x, core::Value v) override {
+    return inner_.write(txn, x, v);
+  }
+  bool try_commit(core::Transaction& txn) override {
+    inner_.try_abort(txn);
+    return false;
+  }
+  void try_abort(core::Transaction& txn) override { inner_.try_abort(txn); }
+  std::size_t num_tvars() const override { return inner_.num_tvars(); }
+  core::Value read_quiescent(core::TVarId x) const override {
+    return inner_.read_quiescent(x);
+  }
+  std::string name() const override { return "always-abort"; }
+  runtime::TxStats stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+
+ private:
+  core::TransactionalMemory& inner_;
+};
+
+TEST(Driver, PartitionBoundsCoverEveryTvarExactlyOnce) {
+  for (std::size_t n : {4u, 7u, 16u, 37u, 193u}) {
+    for (int threads : {1, 2, 3, 4}) {
+      if (n < static_cast<std::size_t>(threads)) continue;
+      std::size_t covered = 0;
+      for (int t = 0; t < threads; ++t) {
+        const auto b = partition_bounds(n, threads, t);
+        // Contiguous, in thread order, no gaps or overlap.
+        EXPECT_EQ(b.base, covered) << n << "/" << threads << "/" << t;
+        EXPECT_GE(b.size, 1u);
+        covered += b.size;
+      }
+      // The n % threads remainder must be folded in, not dropped.
+      EXPECT_EQ(covered, n) << n << "/" << threads;
+    }
+  }
+}
+
+TEST(Driver, PartitionedPatternTouchesTheWholeArray) {
+  // 37 % 3 != 0: before the remainder fix, the last 37 - 3*12 = 1
+  // t-variable was never accessed by any thread.
+  auto tm = make_tm("tl2", 37);
+  WorkloadConfig config;
+  config.threads = 3;
+  config.tx_per_thread = 500;
+  config.ops_per_tx = 8;
+  config.write_fraction = 1.0;
+  config.pattern = AccessPattern::kPartitioned;
+  const auto r = run_workload(*tm, config);
+  EXPECT_EQ(r.committed, 1500u);
+  for (std::size_t x = 0; x < 37; ++x) {
+    EXPECT_NE(tm->read_quiescent(static_cast<core::TVarId>(x)), 0u)
+        << "t-var " << x << " never written";
+  }
+}
+
+TEST(Driver, GiveUpAccountingAtMaxRetries) {
+  auto inner = make_tm("coarse", 16);
+  AlwaysAbortCommitTm tm(*inner);
+  WorkloadConfig config;
+  config.threads = 2;
+  config.tx_per_thread = 25;
+  config.ops_per_tx = 2;
+  config.max_retries = 4;
+  const auto r = run_workload(tm, config);
+  EXPECT_EQ(r.committed, 0u);
+  EXPECT_EQ(r.gave_up, 50u);
+  EXPECT_EQ(r.aborted_attempts, 50u * 4u);
+  EXPECT_EQ(r.commit_latency_ns.count(), 0u);
+  EXPECT_EQ(r.retries_per_commit.count(), 0u);
+}
+
+TEST(Driver, ExpiredDeadlineIsNotAGiveUp) {
+  auto inner = make_tm("coarse", 16);
+  AlwaysAbortCommitTm tm(*inner);
+  WorkloadConfig config;
+  config.threads = 1;
+  config.run_seconds = 0.1;
+  config.ops_per_tx = 2;
+  config.max_retries = 1'000'000'000;  // only the deadline can stop the run
+  const auto r = run_workload(tm, config);
+  // The deadline fires mid-retry: the unfinished transaction's failed
+  // attempts stay counted, but it is neither a commit nor a gave_up.
+  EXPECT_EQ(r.committed, 0u);
+  EXPECT_EQ(r.gave_up, 0u);
+  EXPECT_GT(r.aborted_attempts, 0u);
+  // Generous bounds: the spinning worker can delay the main thread's start
+  // timestamp by several ms on a loaded single-core box.
+  EXPECT_GE(r.seconds, 0.1 * 0.5);
+  EXPECT_LT(r.seconds, 5.0);
+}
+
+TEST(Driver, LatencyHistogramsMatchStripedCounters) {
+  auto tm = make_tm("norec", 64);
+  WorkloadConfig config;
+  config.threads = 4;
+  config.tx_per_thread = 500;
+  config.ops_per_tx = 4;
+  const auto r = run_workload(*tm, config);
+  EXPECT_EQ(r.committed, 2000u);
+  // The per-thread latency histograms, merged at flush time, must account
+  // for exactly the commits the backend's striped counters saw.
+  EXPECT_EQ(r.commit_latency_ns.count(), r.committed);
+  EXPECT_EQ(r.commit_latency_ns.count(), tm->stats().commits);
+  EXPECT_EQ(r.retries_per_commit.count(), r.committed);
+  EXPECT_GT(r.commit_latency_ns.quantile(0.5), 0u);
+  EXPECT_GE(r.commit_latency_ns.quantile(0.99),
+            r.commit_latency_ns.quantile(0.5));
+  // Per-thread skew vector: one entry per worker, summing to the total.
+  ASSERT_EQ(r.per_thread_committed.size(), 4u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : r.per_thread_committed) sum += c;
+  EXPECT_EQ(sum, r.committed);
+}
+
+TEST(Driver, AccumulateRunAddsPerThreadEntriesElementwise) {
+  // Folding benchmark iterations must keep entry i meaning "worker i"
+  // (element-wise add), unlike the worker flush which concatenates.
+  RunResult a;
+  a.seconds = 0.5;
+  a.committed = 30;
+  a.per_thread_committed = {10, 20};
+  a.commit_latency_ns.record(100);
+  RunResult b;
+  b.seconds = 0.25;
+  b.committed = 3;
+  b.per_thread_committed = {1, 2};
+  b.commit_latency_ns.record(200);
+  b.tm_stats.commits = 3;
+  a.accumulate_run(b);
+  EXPECT_DOUBLE_EQ(a.seconds, 0.75);
+  EXPECT_EQ(a.committed, 33u);
+  ASSERT_EQ(a.per_thread_committed.size(), 2u);
+  EXPECT_EQ(a.per_thread_committed[0], 11u);
+  EXPECT_EQ(a.per_thread_committed[1], 22u);
+  EXPECT_EQ(a.commit_latency_ns.count(), 2u);
+  EXPECT_EQ(a.tm_stats.commits, 3u);
+}
+
+TEST(Driver, ReadOnlyFractionSuppressesWrites) {
+  auto tm = make_tm("tl2", 64);
+  WorkloadConfig config;
+  config.threads = 2;
+  config.tx_per_thread = 300;
+  config.write_fraction = 1.0;       // would write every op...
+  config.read_only_fraction = 1.0;   // ...but every transaction is read-only
+  const auto r = run_workload(*tm, config);
+  EXPECT_EQ(r.committed, 600u);
+  EXPECT_EQ(tm->stats().writes, 0u);
+}
+
+TEST(Driver, HotSetConfinesRedirectedOps) {
+  auto tm = make_tm("tl2", 64);
+  WorkloadConfig config;
+  config.threads = 2;
+  config.tx_per_thread = 400;
+  config.write_fraction = 1.0;
+  config.hot_op_fraction = 1.0;  // every op lands in the hot set
+  config.hot_set_size = 4;
+  const auto r = run_workload(*tm, config);
+  EXPECT_EQ(r.committed, 800u);
+  for (std::size_t x = 0; x < 4; ++x) {
+    EXPECT_NE(tm->read_quiescent(static_cast<core::TVarId>(x)), 0u) << x;
+  }
+  for (std::size_t x = 4; x < 64; ++x) {
+    EXPECT_EQ(tm->read_quiescent(static_cast<core::TVarId>(x)), 0u) << x;
+  }
+}
+
 TEST(Driver, CountsCommitsExactly) {
   auto tm = make_tm("tl2", 64);
   WorkloadConfig config;
@@ -88,6 +271,10 @@ TEST(Driver, DurationModeRunsForTheConfiguredTime) {
   EXPECT_LT(r.seconds, 5.0);
   EXPECT_GT(r.committed, 2u);
   EXPECT_EQ(r.committed, tm->stats().commits);
+  // Duration mode records latency per commit too; the merged histograms
+  // must agree with the striped backend counters.
+  EXPECT_EQ(r.commit_latency_ns.count(), tm->stats().commits);
+  EXPECT_EQ(r.retries_per_commit.count(), r.committed);
 }
 
 TEST(Driver, UniqueWritesDisciplineHolds) {
@@ -113,7 +300,20 @@ TEST(Driver, BankInvariantAcrossBackendsQuick) {
     const auto r = run_bank_workload(*tm, 4, 500, 16, 100, 11, &ok);
     EXPECT_TRUE(ok) << name;
     EXPECT_GT(r.committed, 0u) << name;
+    EXPECT_EQ(r.commit_latency_ns.count(), r.committed) << name;
   }
+}
+
+TEST(Driver, BankHonorsPinThreadsFlag) {
+  // Oversubscribed run (more workers than the container has cores): only
+  // valid with pinning off, which run_bank_workload used to hard-code on.
+  auto tm = make_tm("norec", 32);
+  bool ok = false;
+  const auto r = run_bank_workload(*tm, 12, 200, 16, 100, 23, &ok,
+                                   /*pin_threads=*/false);
+  EXPECT_TRUE(ok);
+  EXPECT_GT(r.committed, 0u);
+  ASSERT_EQ(r.per_thread_committed.size(), 12u);
 }
 
 }  // namespace
