@@ -134,8 +134,14 @@ void register_all() {
        {std::string("dstm"), std::string("dstm-collapse"), std::string("tl"),
         std::string("foctm-hinted")}) {
     for (bool disruptor : {false, true}) {
+      // Backend and scenario in the registration name (not just the label)
+      // so --benchmark_filter can slice per combination — the disruptor
+      // rows are many-core scenarios that take unbounded time on small
+      // boxes, and CI/baseline runs must be able to select around them.
+      const std::string name = "B2/hotspot_indirect/" + backend +
+                               (disruptor ? "/disruptor" : "/baseline");
       benchmark::RegisterBenchmark(
-          "B2/hotspot_indirect",
+          name.c_str(),
           [backend, disruptor](benchmark::State& s) {
             BM_HotspotIndirect(s, backend, disruptor);
           })

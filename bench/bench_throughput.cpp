@@ -8,8 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include "workload/driver.hpp"
-#include "workload/factory.hpp"
 #include "workload/report.hpp"
+#include "workload/visit.hpp"
 
 namespace {
 
@@ -46,7 +46,6 @@ void run_mix(benchmark::State& state, const char* scenario,
   oftm::workload::RunResult merged;
   WorkloadConfig config;
   for (auto _ : state) {
-    auto tm = oftm::workload::make_tm(backend, 4096);
     config.threads = threads;
     // Duration-based sweep: a fixed time budget per iteration keeps the
     // pathological combos (encounter-locking under hot-key contention on
@@ -62,7 +61,11 @@ void run_mix(benchmark::State& state, const char* scenario,
     // is exactly the 64-variable hot set BM_MixedRegimes documents.
     config.pattern = pattern;
     config.seed = 42;
-    const auto r = oftm::workload::run_workload(*tm, config);
+    // Static dispatch: the measured loop is instantiated per concrete
+    // backend type, so harness virtual-call overhead is out of the numbers.
+    const auto r = oftm::workload::visit_tm(backend, 4096, [&](auto& tm) {
+      return oftm::workload::run_workload(tm, config);
+    });
     state.SetIterationTime(r.seconds);
     committed += r.committed;
     aborted += r.aborted_attempts;

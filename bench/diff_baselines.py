@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""Diff a fresh google-benchmark JSON file against the committed baselines.
+"""Diff a fresh benchmark output file against the committed baselines.
 
 Usage:
     bench/diff_baselines.py FRESH.json [BASELINE.json]
         [--threshold 0.10] [--metric items_per_second] [--strict]
 
-BASELINE defaults to bench/baselines/<basename of FRESH>. Benchmarks are
-matched by name; only names present in both files are compared. For each
-pair the script prints a markdown table row with the metric delta and flags
-regressions worse than --threshold (default 10%). Exit status is 0 unless
---strict is given, in which case any flagged regression exits 1 — CI runs
-it non-blocking (no --strict) and pastes the table into the job summary.
+Two input formats, auto-detected per file:
 
-Throughput metrics (items_per_second) regress downward; time metrics
-(real_time, cpu_time) regress upward — the script picks the direction from
-the metric name.
+  * google-benchmark JSON (one document with a "benchmarks" array) —
+    benchmarks are matched by name and compared on --metric
+    (items_per_second by default, falling back to real_time).
+  * the shared JSON-lines run report every bench emits via
+    $OFTM_REPORT_FILE (bench/baselines/REPORT_*.jsonl) — records are
+    matched by their identity fields (bench/scenario/backend plus the
+    config object) and compared on result.throughput_tx_s (or the first
+    *_ns mean for latency-shaped records). Records with no perf metric
+    (claim matrices like E-T9/E-C11 or F2) are compared field-for-field:
+    a changed claim is flagged like a regression — those records encode
+    reproduction results, not machine speed.
+
+BASELINE defaults to bench/baselines/<basename of FRESH>. Only entries
+present in both files are compared; fresh-only entries are listed so a
+missing baseline never reads as a pass. Exit status is 0 unless --strict
+is given, in which case any flagged regression exits 1 — CI runs it
+non-blocking (no --strict) and pastes the table into the job summary.
+
+Throughput metrics regress downward; time metrics (*_time, *_ns) regress
+upward — the direction is picked from the metric name.
 """
 
 import argparse
@@ -22,8 +34,45 @@ import json
 import os
 import sys
 
+# Fields that identify a JSON-lines record (everything else is a result).
+# The config subobject is part of the identity wholesale.
+KEY_FIELDS = (
+    "bench", "scenario", "backend", "protocol", "abort_semantics",
+    "procs", "depth", "semantics", "mode", "threads", "workers",
+    "with_disruptor",
+)
 
-def load_benchmarks(path):
+# Result fields a perf comparison reads, in priority order.
+METRIC_FIELDS = (
+    ("result.throughput_tx_s", False),   # higher is better
+    ("throughput_tx_s", False),
+    ("mean_rmw_ns", True),               # lower is better
+    ("mean_op_ns", True),
+    ("mean_ns", True),
+)
+
+
+def flatten(obj, prefix=""):
+    out = {}
+    for k, v in obj.items():
+        path = f"{prefix}{k}"
+        if isinstance(v, dict):
+            out.update(flatten(v, path + "."))
+        elif not isinstance(v, list):
+            out[path] = v
+    return out
+
+
+def is_jsonl(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError:
+            return True  # multiple documents -> JSON lines
+    return not (isinstance(doc, dict) and "benchmarks" in doc)
+
+
+def load_gbench(path):
     """Map benchmark name -> entry for every aggregate-free run."""
     with open(path) as f:
         doc = json.load(f)
@@ -37,7 +86,46 @@ def load_benchmarks(path):
     return out
 
 
-def metric_of(entry, metric):
+def load_jsonl(path):
+    """Map identity key -> flattened record for every report line.
+
+    Records are matched on their full identity (key fields + the whole
+    config object); the #n suffix disambiguates only true duplicates
+    (identical identity emitted more than once, e.g. an appended report
+    file), so matching is insensitive to emission order and to filtered
+    runs that produce a subset of the baseline's records.
+    """
+    out = {}
+    full_counts = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # partial line from an interrupted run
+            if not isinstance(rec, dict):
+                continue
+            flat = flatten(rec)
+            short_parts = [str(flat[k]) for k in KEY_FIELDS if k in flat]
+            if "config.threads" in flat and "threads" not in flat:
+                short_parts.append(f"t{flat['config.threads']}")
+            short = "/".join(short_parts) or "record"
+            full = " ".join([short] + [
+                f"{k}={flat[k]}" for k in sorted(flat)
+                if k.startswith("config.")
+            ])
+            n = full_counts.get(full, 0) + 1
+            full_counts[full] = n
+            suffix = f" #{n}" if n > 1 else ""
+            flat["__display"] = short + suffix
+            out[full + suffix] = flat
+    return out
+
+
+def gbench_metric(entry, metric):
     value = entry.get(metric)
     if value is None and metric == "items_per_second":
         # Benches that never call SetItemsProcessed fall back to real_time.
@@ -45,16 +133,39 @@ def metric_of(entry, metric):
     return value, metric
 
 
+def jsonl_metric(flat):
+    for name, _lower in METRIC_FIELDS:
+        if flat.get(name) not in (None, 0):
+            return flat[name], name
+    return None, None
+
+
+def claim_fields(flat):
+    """Non-key, non-metric scalar results for metric-less records."""
+    out = {}
+    for k, v in flat.items():
+        if k in KEY_FIELDS or k.startswith("config.") or k == "__display":
+            continue
+        if any(k == m for m, _ in METRIC_FIELDS):
+            continue
+        out[k] = v
+    return out
+
+
+def lower_is_better(metric):
+    return metric.endswith("_time") or metric.endswith("_ns")
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Flag throughput regressions against committed baselines")
-    parser.add_argument("fresh", help="freshly generated benchmark JSON")
+        description="Flag regressions against committed bench baselines")
+    parser.add_argument("fresh", help="freshly generated benchmark output")
     parser.add_argument("baseline", nargs="?",
-                        help="baseline JSON (default: bench/baselines/<name>)")
+                        help="baseline file (default: bench/baselines/<name>)")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative regression to flag (default 0.10)")
     parser.add_argument("--metric", default="items_per_second",
-                        help="benchmark field to compare")
+                        help="google-benchmark field to compare")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 if any regression exceeds the threshold")
     args = parser.parse_args()
@@ -68,43 +179,73 @@ def main():
         print(f"no baseline at {baseline_path}; nothing to diff", flush=True)
         return 0
 
-    fresh = load_benchmarks(args.fresh)
-    base = load_benchmarks(baseline_path)
+    jsonl = is_jsonl(args.fresh)
+    if jsonl:
+        fresh = load_jsonl(args.fresh)
+        base = load_jsonl(baseline_path)
+    else:
+        fresh = load_gbench(args.fresh)
+        base = load_gbench(baseline_path)
+
     common = [name for name in base if name in fresh]
     fresh_only = [name for name in fresh if name not in base]
     if not common:
-        print("no common benchmark names between baseline and fresh run")
+        print("no common entries between baseline and fresh run")
         return 0
 
     rows = []
     flagged = []
     skipped = []
+    claims_checked = 0
     for name in common:
-        base_value, base_metric = metric_of(base[name], args.metric)
-        fresh_value, fresh_metric = metric_of(fresh[name], args.metric)
+        if jsonl:
+            display = base[name].get("__display", name)
+            base_value, base_metric = jsonl_metric(base[name])
+            fresh_value, fresh_metric = jsonl_metric(fresh[name])
+            if base_metric is None and fresh_metric is None:
+                # Claim record: any changed result field is a finding.
+                claims_checked += 1
+                b, f = claim_fields(base[name]), claim_fields(fresh[name])
+                changed = sorted(k for k in (set(b) | set(f))
+                                 if b.get(k) != f.get(k))
+                if changed:
+                    for k in changed:
+                        rows.append((f"{display} [{k}]", "claim",
+                                     b.get(k), f.get(k), None, True))
+                        flagged.append(f"{display} [{k}]")
+                continue
+        else:
+            display = name
+            base_value, base_metric = gbench_metric(base[name], args.metric)
+            fresh_value, fresh_metric = gbench_metric(fresh[name], args.metric)
         if base_value in (None, 0) or fresh_value is None:
-            skipped.append((name, "metric missing or zero"))
+            skipped.append((display, "metric missing or zero"))
             continue
         if base_metric != fresh_metric:
             skipped.append(
-                (name, f"metric mismatch ({base_metric} vs {fresh_metric})"))
+                (display, f"metric mismatch ({base_metric} vs {fresh_metric})"))
             continue
         delta = (fresh_value - base_value) / base_value
-        # For time-like metrics, bigger is worse.
-        lower_is_better = base_metric.endswith("_time")
-        regressed = (delta > args.threshold if lower_is_better
+        regressed = (delta > args.threshold if lower_is_better(base_metric)
                      else delta < -args.threshold)
-        rows.append((name, base_metric, base_value, fresh_value, delta,
+        rows.append((display, base_metric, base_value, fresh_value, delta,
                      regressed))
         if regressed:
-            flagged.append(name)
+            flagged.append(display)
 
+    claims_note = (f", {claims_checked} claim record(s) checked"
+                   if claims_checked else "")
     print(f"### Bench diff vs `{os.path.basename(baseline_path)}` "
-          f"({len(rows)} compared, threshold {args.threshold:.0%})\n")
+          f"({len(rows)} compared{claims_note}, "
+          f"threshold {args.threshold:.0%})\n")
     print("| benchmark | metric | baseline | fresh | delta | |")
     print("| --- | --- | ---: | ---: | ---: | --- |")
     for name, metric, base_value, fresh_value, delta, regressed in rows:
         mark = "🔴 regression" if regressed else ""
+        if metric == "claim":
+            print(f"| `{name}` | claim | {base_value} | {fresh_value} | "
+                  f"changed | 🔴 claim changed |")
+            continue
         print(f"| `{name}` | {metric} | {base_value:.3g} | {fresh_value:.3g} "
               f"| {delta:+.1%} | {mark} |")
     print()
@@ -118,9 +259,11 @@ def main():
         print()
     if fresh_only:
         # Not comparing a benchmark is not the same as it passing — say so.
+        if jsonl:
+            fresh_only = [fresh[n].get("__display", n) for n in fresh_only]
         shown = ", ".join(f"`{name}`" for name in fresh_only[:5])
         more = f", … +{len(fresh_only) - 5} more" if len(fresh_only) > 5 else ""
-        print(f"{len(fresh_only)} benchmark(s) in the fresh run have no "
+        print(f"{len(fresh_only)} entrie(s) in the fresh run have no "
               f"baseline and were **not compared**: {shown}{more}. "
               "Re-record the baseline to cover them.\n")
     if flagged:

@@ -37,6 +37,10 @@ class EventualIcTm final : public TransactionalMemory {
   EventualIcTm(TransactionalMemory& inner, EventualIcOptions options = {})
       : inner_(inner), options_(options), budget_(options.obstruction_budget) {}
 
+  // Keep the base's session-tier begin(TmSession&) visible alongside the
+  // override below (it drives this virtual begin via fallback sessions).
+  using TransactionalMemory::begin;
+
   TxnPtr begin() override {
     auto txn = std::make_unique<Txn>(*this, inner_.begin());
     const int n = begin_count_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -49,7 +53,9 @@ class EventualIcTm final : public TransactionalMemory {
       }
       if (b > 0) txn->doomed_ = true;
     }
-    return txn;
+    // Wrapper descriptors are heap-per-begin (this decorator models
+    // obstruction, not performance); handle_released() frees them.
+    return TxnPtr(txn.release());
   }
 
   std::optional<Value> read(Transaction& t, TVarId x) override {
@@ -100,6 +106,10 @@ class EventualIcTm final : public TransactionalMemory {
 
    private:
     friend class EventualIcTm;
+
+    // Not pooled: dropping the handle frees the wrapper (and releases the
+    // wrapped inner handle with it).
+    void handle_released() noexcept override { delete this; }
 
     // Execute the doomed verdict at the first operation: forcefully abort
     // with no step contention whatsoever.

@@ -1,6 +1,51 @@
 #include "core/tm.hpp"
 
-// Interface-only translation unit: anchors the vtables of Transaction and
-// TransactionalMemory so they are emitted exactly once.
+// Anchors the vtables of Transaction/TransactionalMemory/TmSession and
+// hosts the session-table plus fallback-session plumbing shared by every
+// TM (wrappers included).
 
-namespace oftm::core {}  // namespace oftm::core
+namespace oftm::core {
+
+TmSession& TransactionalMemory::session(ThreadSlot slot) {
+  OFTM_ASSERT(slot >= 0 && slot < runtime::ThreadRegistry::kMaxThreads);
+  std::atomic<TmSession*>& cell =
+      sessions_.cells[static_cast<std::size_t>(slot)];
+  if (TmSession* s = cell.load(std::memory_order_acquire)) return *s;
+  std::lock_guard<std::mutex> lock(sessions_.mu);
+  if (TmSession* s = cell.load(std::memory_order_relaxed)) return *s;
+  std::unique_ptr<TmSession> fresh = make_session(slot);
+  TmSession* raw = fresh.get();
+  sessions_.owned.push_back(std::move(fresh));
+  cell.store(raw, std::memory_order_release);
+  return *raw;
+}
+
+TmSession& TransactionalMemory::this_thread_session() {
+  return session(runtime::ThreadRegistry::current_id());
+}
+
+Transaction& TransactionalMemory::begin(TmSession& session) {
+  // Fallback hot tier: drive the virtual begin() and keep the handle alive
+  // until the next begin on this session. Release the previous handle
+  // FIRST — "beginning again finishes whatever the previous transaction
+  // left behind" — or an abandoned-active predecessor could still hold
+  // backend resources (e.g. coarse's global lock) while the new begin()
+  // blocks on them: self-deadlock.
+  auto& s = static_cast<detail::FallbackSession&>(session);
+  s.held.reset();
+  s.held = begin();
+  return *s.held;
+}
+
+std::unique_ptr<TmSession> TransactionalMemory::make_session(ThreadSlot slot) {
+  return std::make_unique<detail::FallbackSession>(slot);
+}
+
+void TransactionalMemory::release_sessions() noexcept {
+  for (auto& cell : sessions_.cells) {
+    cell.store(nullptr, std::memory_order_relaxed);
+  }
+  sessions_.owned.clear();
+}
+
+}  // namespace oftm::core

@@ -1,4 +1,5 @@
-// The TM-as-a-shared-object interface of Section 2.2.
+// The TM-as-a-shared-object interface of Section 2.2, exposed as a
+// two-tier execution surface.
 //
 // Operations map 1:1 onto the paper's model:
 //   read(Tk, x)    -> value or abort event A_k        (std::nullopt)
@@ -6,26 +7,65 @@
 //   try_commit(Tk) -> commit event C_k or abort A_k   (true / false)
 //   try_abort(Tk)  -> abort event A_k                 (always)
 //
-// All backends (DSTM, FOCTM, TL, TL2, Coarse) implement this interface so
-// the workload harness, the history recorder and the checkers drive them
-// uniformly. The virtual-dispatch cost is identical across backends and thus
-// cancels in every comparison this repo makes; hot-path benches that need
-// raw numbers use the backends' concrete types directly.
+// Hot tier (pooled sessions). `session(slot)` hands out one TmSession per
+// thread slot; `begin(TmSession&)` resets and reuses that session's pooled
+// transaction descriptor in place. Read/write-set capacity survives
+// retries, so after warm-up a transaction costs zero heap allocations on
+// the backends without inherently allocating protocols (NOrec, TL/TL2,
+// Coarse — DSTM locators and FOCTM descriptors are part of the algorithms
+// being measured and still allocate). core::atomically() and the workload
+// driver run on this tier; tests/alloc_free_test.cpp pins the
+// zero-allocation property.
+//
+// Portability tier. The virtual `TxnPtr begin()` interface is a thin
+// adapter over the same per-thread pools: it checks a descriptor out of
+// the calling thread's session free list and the returned handle's
+// releaser checks it back in. Descriptors are recycled, never freed, so
+// the steady state is also allocation-free — but every operation is a
+// virtual call. The conformance harness, history recorder and checkers
+// drive all backends through this tier unchanged; hot-path benches use
+// workload::visit_tm to reach concrete backend types instead.
+//
+// The virtual-dispatch cost of the portability tier is identical across
+// backends and thus cancels in every comparison this repo makes; the hot
+// tier exists so the *absolute* numbers are not dominated by harness
+// overhead (the methodological trap the cost-of-obstruction-freedom
+// comparison must avoid).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
+#include "runtime/assert.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/thread_registry.hpp"
 
 namespace oftm::core {
 
+class TmSession;
+class TransactionalMemory;
+namespace detail {
+class DescriptorPoolBase;
+}
+
+// Index of a per-thread session within a TM instance. Backends map their
+// platform's thread id onto this; any value in [0, kMaxThreads) is valid
+// (the conformance harness leases arbitrary slots).
+using ThreadSlot = int;
+
 // Backend-specific per-transaction state. Obtained from begin(); passed by
-// reference to every subsequent operation of that transaction. A handle must
-// not outlive its TM and is not thread-safe (the paper: transactions at any
-// single process are never concurrent).
+// reference to every subsequent operation of that transaction. A
+// descriptor must not outlive its TM and is not thread-safe (the paper:
+// transactions at any single process are never concurrent). Descriptors
+// are pooled: the same object is reset and reused across transactions of
+// its thread slot, so a reference is only meaningful until the next
+// begin() on the same session / handle release.
 class Transaction {
  public:
   virtual ~Transaction() = default;
@@ -37,15 +77,167 @@ class Transaction {
 
  protected:
   Transaction() = default;
+
+  // Invoked when a portability-tier handle (TxnPtr) drops this descriptor.
+  // Backend overrides release protocol resources a still-active
+  // transaction may hold (encounter locks, reader-table registrations),
+  // then call the base, which returns a pooled descriptor to its free
+  // list. The descriptor itself is never freed here.
+  virtual void handle_released() noexcept;
+
+ private:
+  friend struct TxnReleaser;
+  friend class detail::DescriptorPoolBase;
+  detail::DescriptorPoolBase* pool_home_ = nullptr;
 };
 
-using TxnPtr = std::unique_ptr<Transaction>;
+// Deleter of the portability tier's handle: recycles the descriptor
+// instead of freeing it.
+struct TxnReleaser {
+  void operator()(Transaction* t) const noexcept {
+    if (t != nullptr) t->handle_released();
+  }
+};
+
+using TxnPtr = std::unique_ptr<Transaction, TxnReleaser>;
+
+// A per-thread execution session: owns the pooled transaction
+// descriptor(s) for one thread slot of one TM instance. Obtained from
+// TransactionalMemory::session(); a session (and everything begun on it)
+// must only be used by one thread at a time.
+class TmSession {
+ public:
+  virtual ~TmSession() = default;
+  TmSession(const TmSession&) = delete;
+  TmSession& operator=(const TmSession&) = delete;
+
+  ThreadSlot slot() const noexcept { return slot_; }
+
+ protected:
+  explicit TmSession(ThreadSlot slot) noexcept : slot_(slot) {}
+
+ private:
+  const ThreadSlot slot_;
+};
+
+namespace detail {
+
+// Type-erased descriptor pool: owns every descriptor ever created for one
+// session and keeps the portability tier's free list. Descriptors live
+// until the TM is destroyed.
+class DescriptorPoolBase {
+ public:
+  void give_back(Transaction* t) { free_.push_back(t); }
+
+ protected:
+  ~DescriptorPoolBase() = default;
+
+  static void set_home(Transaction& t, DescriptorPoolBase* home) noexcept {
+    t.pool_home_ = home;
+  }
+
+  std::vector<std::unique_ptr<Transaction>> owned_;
+  std::vector<Transaction*> free_;
+  Transaction* hot_ = nullptr;
+};
+
+}  // namespace detail
+
+inline void Transaction::handle_released() noexcept {
+  // give_back never reallocates here: free_ capacity is pre-reserved for
+  // every descriptor the pool owns (see PooledTmSession::create).
+  if (pool_home_ != nullptr) pool_home_->give_back(this);
+}
+
+// The pooled session every backend uses: one dedicated hot-tier descriptor
+// (stable identity, reset in place by begin(TmSession&)) plus the
+// portability tier's free list. TxnT must be default-constructible; the
+// backend re-arms it via its own prepare step.
+template <typename TxnT>
+class PooledTmSession final : public TmSession,
+                              private detail::DescriptorPoolBase {
+ public:
+  explicit PooledTmSession(ThreadSlot slot) : TmSession(slot) {}
+
+  // Hot tier: the session's dedicated descriptor. Never enters the free
+  // list, so its address is stable across transactions — the descriptor
+  // reuse the conformance suite pins down.
+  TxnT& hot() {
+    if (hot_ == nullptr) hot_ = &create(/*pooled=*/false);
+    return static_cast<TxnT&>(*hot_);
+  }
+
+  // Portability tier: check a descriptor out of the free list; the handle
+  // releaser (Transaction::handle_released) checks it back in. Allocates
+  // only when every owned descriptor is simultaneously live.
+  TxnT& checkout() {
+    if (free_.empty()) return static_cast<TxnT&>(create(/*pooled=*/true));
+    Transaction* t = free_.back();
+    free_.pop_back();
+    return static_cast<TxnT&>(*t);
+  }
+
+ private:
+  Transaction& create(bool pooled) {
+    owned_.push_back(std::make_unique<TxnT>());
+    Transaction& t = *owned_.back();
+    if (pooled) set_home(t, this);
+    // Keep give_back allocation-free (it runs inside a noexcept releaser).
+    free_.reserve(owned_.size());
+    return t;
+  }
+};
+
+namespace detail {
+
+// Lazily built slot -> session table. Creation is mutex-guarded (it
+// happens once per thread per TM); lookups after that are one atomic load.
+struct SessionTableState {
+  std::array<std::atomic<TmSession*>, runtime::ThreadRegistry::kMaxThreads>
+      cells{};
+  std::mutex mu;
+  std::vector<std::unique_ptr<TmSession>> owned;
+};
+
+// Fallback session used by TMs that do not override make_session (wrappers
+// like the history recorder): the "pooled descriptor" is whatever the
+// virtual begin() hands out, held alive until the next begin on the
+// session.
+struct FallbackSession final : TmSession {
+  explicit FallbackSession(ThreadSlot slot) noexcept : TmSession(slot) {}
+  TxnPtr held;
+};
+
+}  // namespace detail
 
 class TransactionalMemory {
  public:
   virtual ~TransactionalMemory() = default;
 
-  // Start a new transaction on the calling thread.
+  // ---- Hot tier --------------------------------------------------------
+
+  // The calling thread's pooled session for `slot`. Created on first use;
+  // the reference stays valid for the life of the TM.
+  TmSession& session(ThreadSlot slot);
+
+  // The session of the calling thread's platform slot. Virtual so
+  // simulator-instantiated backends can key it by simulated process id
+  // rather than host thread.
+  virtual TmSession& this_thread_session();
+
+  // Start a transaction on `session`, resetting and reusing its pooled
+  // descriptor (zero allocations after warm-up). At most one transaction
+  // per session may be in use at a time: beginning again finishes whatever
+  // the previous transaction left behind. The returned reference is valid
+  // until the next begin on the same session.
+  virtual Transaction& begin(TmSession& session);
+
+  // ---- Portability tier ------------------------------------------------
+
+  // Start a new transaction on the calling thread. The handle's releaser
+  // recycles the descriptor into the thread's session pool; handles may be
+  // live concurrently on one thread (they check out distinct descriptors)
+  // but must be released on the thread that began them.
   virtual TxnPtr begin() = 0;
 
   // Read t-variable x within txn. nullopt == abort event A_k: the
@@ -74,6 +266,22 @@ class TransactionalMemory {
   // Aggregated statistics since construction (or last reset).
   virtual runtime::TxStats stats() const = 0;
   virtual void reset_stats() = 0;
+
+ protected:
+  // Backend hook behind session(): build the pooled session for one slot.
+  // The default builds a FallbackSession driven through the virtual
+  // begin(), so wrappers keep working without knowing about pooling.
+  virtual std::unique_ptr<TmSession> make_session(ThreadSlot slot);
+
+  // Tear down every session now (releasing any descriptor handle a
+  // fallback session still holds). Wrappers whose transactions reference
+  // derived-class state must call this from their own destructor — the
+  // base destructor would release those handles only after that state is
+  // gone. Not thread-safe; callers guarantee quiescence.
+  void release_sessions() noexcept;
+
+ private:
+  detail::SessionTableState sessions_;
 };
 
 // Statistics plumbing shared by all backends: striped counters so that

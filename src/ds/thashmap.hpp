@@ -45,13 +45,18 @@ class THashMap {
     });
   }
 
-  // Insert or overwrite; returns true if the key was newly inserted.
+  // Insert or overwrite; returns true if the key was newly inserted. On a
+  // TM-forced abort the view goes dead (tx.ok() false) and the return
+  // value is meaningless — atomically() discards the attempt and retries;
+  // the probe loops bail out so poison keys cannot trip the capacity
+  // assert.
   bool put(core::TxView& tx, std::uint64_t key, core::Value value) {
     OFTM_ASSERT(key != kEmptyKey && key != kTombstone);
     std::uint32_t first_tombstone = capacity_;
     for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
       const std::uint32_t i = slot(key, probe);
       const std::uint64_t k = tx.read(key_var(i));
+      if (!tx.ok()) return false;  // doomed attempt
       if (k == key) {
         tx.write(val_var(i), value);
         return false;
@@ -83,6 +88,7 @@ class THashMap {
     for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
       const std::uint32_t i = slot(key, probe);
       const std::uint64_t k = tx.read(key_var(i));
+      if (!tx.ok()) return std::nullopt;  // doomed attempt
       if (k == key) return tx.read(val_var(i));
       if (k == kEmptyKey) return std::nullopt;
     }
@@ -93,6 +99,7 @@ class THashMap {
     for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
       const std::uint32_t i = slot(key, probe);
       const std::uint64_t k = tx.read(key_var(i));
+      if (!tx.ok()) return false;  // doomed attempt
       if (k == key) {
         tx.write(key_var(i), kTombstone);
         tx.write(count_var(), tx.read(count_var()) - 1);

@@ -52,14 +52,17 @@ class TListSet {
     });
   }
 
-  // Inserts key; false if already present. Throws TxRetrySignal via TxView
-  // on TM-level abort (handled by atomically()); cancels via full set.
+  // Inserts key; false if already present. On a TM-forced abort the view
+  // goes dead (tx.ok() false) and the return value is meaningless —
+  // atomically() discards the attempt and retries.
   bool insert(core::TxView& tx, std::uint64_t key) {
     auto [prev, cur] = locate(tx, key);
+    if (!tx.ok()) return false;  // doomed attempt: poison values, bail out
     if (cur != kNull && tx.read(key_var(node_of(cur))) == key) {
       return false;  // already present
     }
     const core::Value fresh = tx.read(free_var());
+    if (!tx.ok()) return false;
     OFTM_ASSERT_MSG(fresh != kNull, "TListSet capacity exhausted");
     const std::uint32_t node = node_of(fresh);
     tx.write(free_var(), tx.read(next_var(node)));
@@ -73,6 +76,7 @@ class TListSet {
   // Removes key; false if absent. The node returns to the free list.
   bool erase(core::TxView& tx, std::uint64_t key) {
     auto [prev, cur] = locate(tx, key);
+    if (!tx.ok()) return false;  // doomed attempt (see insert)
     if (cur == kNull || tx.read(key_var(node_of(cur))) != key) {
       return false;
     }
@@ -140,12 +144,14 @@ class TListSet {
   }
 
   // Finds the first node with key >= `key`; returns (prev index, cur
-  // index), kNull prev meaning head.
+  // index), kNull prev meaning head. The traversal is bounded by
+  // transactional reads, so it must stop on a dead view (poison indices
+  // are not a consistent snapshot and could otherwise cycle).
   std::pair<core::Value, core::Value> locate(core::TxView& tx,
                                              std::uint64_t key) {
     core::Value prev = kNull;
     core::Value cur = tx.read(head_var());
-    while (cur != kNull && tx.read(key_var(node_of(cur))) < key) {
+    while (tx.ok() && cur != kNull && tx.read(key_var(node_of(cur))) < key) {
       prev = cur;
       cur = tx.read(next_var(node_of(cur)));
     }

@@ -38,10 +38,12 @@ class TQueue {
     });
   }
 
-  // False if full.
+  // False if full (or the attempt is doomed — tx.ok() false — in which
+  // case atomically() discards it and retries).
   bool enqueue(core::TxView& tx, core::Value v) {
     const std::uint64_t head = tx.read(head_var());
     const std::uint64_t tail = tx.read(tail_var());
+    if (!tx.ok()) return false;
     if (tail - head >= capacity_) return false;
     tx.write(slot_var(tail), v);
     tx.write(tail_var(), tail + 1);

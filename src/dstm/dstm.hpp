@@ -111,16 +111,12 @@ class Dstm final : public core::TransactionalMemory,
 
   class Txn final : public core::Transaction {
    public:
-    Txn(Dstm& tm, TxDesc* desc) : tm_(tm), desc_(desc) {}
+    Txn() = default;
 
     ~Txn() override {
-      // An abandoned live transaction is aborted so it cannot be committed
-      // through a stale descriptor by a late status read.
-      core::TxStatus expected = core::TxStatus::kActive;
-      desc_->status.compare_exchange_strong(expected, core::TxStatus::kAborted,
-                                            std::memory_order_acq_rel);
-      tm_.release_visible(*this);
-      TxDesc::unref(desc_);
+      // Pool teardown (TM destruction): drop the handle's descriptor
+      // reference; locators still naming it keep it alive via their own.
+      if (desc_ != nullptr) TxDesc::unref(desc_);
     }
 
     core::TxStatus status() const override {
@@ -144,13 +140,22 @@ class Dstm final : public core::TransactionalMemory,
       std::size_t slot_index;
     };
 
-    Dstm& tm_;
-    TxDesc* desc_;
+    // An abandoned live transaction is aborted so it cannot be committed
+    // through a stale descriptor by a late status read.
+    void handle_released() noexcept override {
+      if (tm_ != nullptr) tm_->finish_descriptor(*this);
+      core::Transaction::handle_released();
+    }
+
+    Dstm* tm_ = nullptr;
+    TxDesc* desc_ = nullptr;
     std::vector<ReadEntry> reads_;
     std::vector<WriteEntry> writes_;
     std::vector<VisibleEntry> visible_;  // reader-table registrations
     int cm_tid_ = 0;
   };
+
+  using Session = core::PooledTmSession<Txn>;
 
   Dstm(std::size_t num_tvars, std::shared_ptr<cm::ContentionManager> cm,
        DstmOptions options = {})
@@ -170,19 +175,33 @@ class Dstm final : public core::TransactionalMemory,
     }
   }
 
+  core::TmSession& this_thread_session() override {
+    return session(P::thread_id());
+  }
+
+  core::Transaction& begin(core::TmSession& session) override {
+    Txn& tx = static_cast<Session&>(session).hot();
+    prepare(tx);
+    return tx;
+  }
+
   core::TxnPtr begin() override {
-    auto* desc = new TxDesc;
-    desc->id = next_tx_id();
-    auto txn = std::make_unique<Txn>(*this, desc);
-    txn->cm_tid_ = P::thread_id();
-    cm_->on_tx_begin(txn->cm_tid_, desc->id);
-    return txn;
+    Txn& tx = static_cast<Session&>(session(P::thread_id())).checkout();
+    prepare(tx);
+    return core::TxnPtr(&tx);
   }
 
   std::optional<core::Value> read(core::Transaction& t, core::TVarId x) override {
     auto& tx = txn_cast(t);
     reads_.add();
     OFTM_ASSERT(x < num_tvars_);
+
+    // The guard must cover the own-write scan too, and must be entered
+    // BEFORE the status check: a displacing writer force-aborts us first
+    // and only then retires our locator, so observing kActive inside the
+    // pinned epoch proves the retire (if any) lands after the pin — the
+    // new_val dereference below cannot race reclamation.
+    [[maybe_unused]] typename P::Reclaimer::Guard guard;
     if (tx.status() != core::TxStatus::kActive) return std::nullopt;
 
     // Own pending write?
@@ -194,7 +213,6 @@ class Dstm final : public core::TransactionalMemory,
       if (r.x == x) return r.val;
     }
 
-    [[maybe_unused]] typename P::Reclaimer::Guard guard;
     typename P::Backoff backoff;
     int attempt = 0;
     for (;;) {
@@ -228,6 +246,11 @@ class Dstm final : public core::TransactionalMemory,
     auto& tx = txn_cast(t);
     writes_.add();
     OFTM_ASSERT(x < num_tvars_);
+
+    // Guard before the status check and own-write scan — same reclamation
+    // race as read(): the locator we are about to store into may otherwise
+    // be retired by a displacing writer between check and dereference.
+    [[maybe_unused]] typename P::Reclaimer::Guard guard;
     if (tx.status() != core::TxStatus::kActive) return false;
 
     for (const auto& w : tx.writes_) {
@@ -237,7 +260,6 @@ class Dstm final : public core::TransactionalMemory,
       }
     }
 
-    [[maybe_unused]] typename P::Reclaimer::Guard guard;
     typename P::Backoff backoff;
     int attempt = 0;
     for (;;) {
@@ -348,6 +370,12 @@ class Dstm final : public core::TransactionalMemory,
     return &static_cast<const Txn&>(t).desc_->status;
   }
 
+ protected:
+  std::unique_ptr<core::TmSession> make_session(
+      core::ThreadSlot slot) override {
+    return std::make_unique<Session>(slot);
+  }
+
  private:
   // Bounded reader table used by the visible-reads ablation.
   static constexpr std::size_t kReaderSlots = 8;
@@ -358,6 +386,36 @@ class Dstm final : public core::TransactionalMemory,
   };
 
   static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  // Complete whatever the descriptor's previous transaction left behind:
+  // an active one is aborted (uncounted — this is abandonment, not a
+  // protocol abort), reader-table registrations drop, and the handle's
+  // TxDesc reference is released. Idempotent.
+  void finish_descriptor(Txn& tx) noexcept {
+    if (tx.desc_ == nullptr) return;
+    core::TxStatus expected = core::TxStatus::kActive;
+    tx.desc_->status.compare_exchange_strong(
+        expected, core::TxStatus::kAborted, std::memory_order_acq_rel);
+    release_visible(tx);
+    TxDesc::unref(tx.desc_);
+    tx.desc_ = nullptr;
+  }
+
+  // Re-arm a pooled descriptor. The read/write/visible sets keep their
+  // capacity; the TxDesc itself is a fresh heap object by protocol
+  // necessity — locators may outlive the transaction that installed them
+  // (the paper's shared-descriptor base object, Theorem 13).
+  void prepare(Txn& tx) {
+    finish_descriptor(tx);
+    tx.tm_ = this;
+    tx.desc_ = new TxDesc;
+    tx.desc_->id = next_tx_id();
+    tx.reads_.clear();
+    tx.writes_.clear();
+    tx.visible_.clear();
+    tx.cm_tid_ = P::thread_id();
+    cm_->on_tx_begin(tx.cm_tid_, tx.desc_->id);
+  }
 
   static core::TxId next_tx_id() {
     thread_local std::uint64_t counter = 0;

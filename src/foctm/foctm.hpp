@@ -101,7 +101,7 @@ class Foctm final : public core::TransactionalMemory,
 
   class Txn final : public core::Transaction {
    public:
-    Txn(Foctm& tm, TxDesc* desc) : tm_(tm), desc_(desc) {}
+    Txn() = default;
     ~Txn() override = default;
 
     core::TxStatus status() const override {
@@ -116,11 +116,13 @@ class Foctm final : public core::TransactionalMemory,
 
    private:
     friend class Foctm;
-    Foctm& tm_;
-    TxDesc* desc_;
+    TxDesc* desc_ = nullptr;
     std::vector<core::TVarId> wset_;
-    core::TxStatus local_status_ = core::TxStatus::kActive;
+    // A pooled descriptor is born finished; prepare() arms it.
+    core::TxStatus local_status_ = core::TxStatus::kAborted;
   };
+
+  using Session = core::PooledTmSession<Txn>;
 
   Foctm(std::size_t num_tvars, FoctmOptions options = {})
       : options_(options), num_tvars_(num_tvars) {
@@ -139,16 +141,20 @@ class Foctm final : public core::TransactionalMemory,
     }
   }
 
+  core::TmSession& this_thread_session() override {
+    return session(P::thread_id());
+  }
+
+  core::Transaction& begin(core::TmSession& session) override {
+    Txn& tx = static_cast<Session&>(session).hot();
+    prepare(tx);
+    return tx;
+  }
+
   core::TxnPtr begin() override {
-    auto desc = std::make_unique<TxDesc>();
-    desc->id = next_tx_id();
-    TxDesc* raw = desc.get();
-    // Descriptors are referenced by Owner chains indefinitely — the
-    // paper's unbounded-memory caveat. They are owned by per-thread pools
-    // and released at TM destruction.
-    pools_[static_cast<std::size_t>(P::thread_id())]->descs.push_back(
-        std::move(desc));
-    return std::make_unique<Txn>(*this, raw);
+    Txn& tx = static_cast<Session&>(session(P::thread_id())).checkout();
+    prepare(tx);
+    return core::TxnPtr(&tx);
   }
 
   std::optional<core::Value> read(core::Transaction& t,
@@ -227,6 +233,12 @@ class Foctm final : public core::TransactionalMemory,
     return &static_cast<const Txn&>(t).desc_->state;
   }
 
+ protected:
+  std::unique_ptr<core::TmSession> make_session(
+      core::ThreadSlot slot) override {
+    return std::make_unique<Session>(slot);
+  }
+
  private:
   static constexpr std::size_t kSegSize = 16;
 
@@ -251,6 +263,21 @@ class Foctm final : public core::TransactionalMemory,
   };
 
   static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  // Re-arm a pooled descriptor. The wrapper (write-set vector) is reused;
+  // the TxDesc must be fresh per transaction and lives forever — Owner
+  // chains reference it indefinitely, the paper's unbounded-memory caveat
+  // (footnote 6). Descriptors are owned by per-thread pools and released
+  // at TM destruction.
+  void prepare(Txn& tx) {
+    auto desc = std::make_unique<TxDesc>();
+    desc->id = next_tx_id();
+    tx.desc_ = desc.get();
+    pools_[static_cast<std::size_t>(P::thread_id())]->descs.push_back(
+        std::move(desc));
+    tx.wset_.clear();
+    tx.local_status_ = core::TxStatus::kActive;
+  }
 
   static core::TxId next_tx_id() {
     thread_local std::uint64_t counter = 0;

@@ -50,6 +50,9 @@ class RecordingTm final : public core::TransactionalMemory {
   RecordingTm(core::TransactionalMemory& inner, Recorder& recorder)
       : inner_(inner), recorder_(recorder) {}
 
+  // Keep the base's session-tier begin(TmSession&) visible alongside the
+  // override below (it drives this virtual begin via fallback sessions).
+  using core::TransactionalMemory::begin;
   core::TxnPtr begin() override;
   std::optional<core::Value> read(core::Transaction& txn,
                                   core::TVarId x) override;

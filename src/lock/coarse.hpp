@@ -30,10 +30,8 @@ class Coarse final : public core::TransactionalMemory,
  public:
   class Txn final : public core::Transaction {
    public:
-    Txn(Coarse& tm, core::TxId id) : tm_(tm), id_(id) {}
-    ~Txn() override {
-      if (status_ == core::TxStatus::kActive) tm_.release(*this);
-    }
+    Txn() = default;
+    ~Txn() override = default;
     core::TxStatus status() const override { return status_; }
     core::TxId id() const override { return id_; }
 
@@ -43,30 +41,45 @@ class Coarse final : public core::TransactionalMemory,
       core::TVarId x;
       core::Value old_value;
     };
-    Coarse& tm_;
-    core::TxId id_;
-    core::TxStatus status_ = core::TxStatus::kActive;
+
+    // A handle abandoned while active still holds the global lock: roll
+    // back its in-place writes and release, or the world stays halted.
+    void handle_released() noexcept override {
+      if (tm_ != nullptr && status_ == core::TxStatus::kActive) {
+        tm_->undo_writes(*this);
+        status_ = core::TxStatus::kAborted;  // completed, not counted
+        tm_->release(*this);
+      }
+      core::Transaction::handle_released();
+    }
+
+    Coarse* tm_ = nullptr;
+    core::TxId id_ = 0;
+    // A pooled descriptor is born finished; prepare() arms it.
+    core::TxStatus status_ = core::TxStatus::kAborted;
     std::vector<Undo> undo_;
   };
+
+  using Session = core::PooledTmSession<Txn>;
 
   explicit Coarse(std::size_t num_tvars) : num_tvars_(num_tvars) {
     values_ = std::make_unique<Atomic<core::Value>[]>(num_tvars);
   }
 
+  core::TmSession& this_thread_session() override {
+    return session(P::thread_id());
+  }
+
+  core::Transaction& begin(core::TmSession& session) override {
+    Txn& tx = static_cast<Session&>(session).hot();
+    prepare(tx);
+    return tx;
+  }
+
   core::TxnPtr begin() override {
-    auto txn = std::make_unique<Txn>(*this, next_tx_id());
-    // Global TTAS lock; transactions execute one at a time.
-    typename P::Backoff backoff;
-    for (;;) {
-      bool expected = false;
-      if (lock_.value.compare_exchange_strong(expected, true,
-                                              std::memory_order_acq_rel)) {
-        break;
-      }
-      cm_backoffs_.add();
-      backoff.pause();
-    }
-    return txn;
+    Txn& tx = static_cast<Session&>(session(P::thread_id())).checkout();
+    prepare(tx);
+    return core::TxnPtr(&tx);
   }
 
   std::optional<core::Value> read(core::Transaction& t,
@@ -101,9 +114,7 @@ class Coarse final : public core::TransactionalMemory,
   void try_abort(core::Transaction& t) override {
     auto& tx = txn_cast(t);
     if (tx.status_ != core::TxStatus::kActive) return;
-    for (auto it = tx.undo_.rbegin(); it != tx.undo_.rend(); ++it) {
-      values_[it->x].store(it->old_value, std::memory_order_relaxed);
-    }
+    undo_writes(tx);
     tx.status_ = core::TxStatus::kAborted;
     release(tx);
     aborts_.add();
@@ -117,12 +128,51 @@ class Coarse final : public core::TransactionalMemory,
   runtime::TxStats stats() const override { return collect_stats(); }
   void reset_stats() override { reset_collect_stats(); }
 
+ protected:
+  std::unique_ptr<core::TmSession> make_session(
+      core::ThreadSlot slot) override {
+    return std::make_unique<Session>(slot);
+  }
+
  private:
   static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
 
   static core::TxId next_tx_id() {
     thread_local std::uint64_t counter = 0;
     return core::make_tx_id(P::thread_id(), ++counter);
+  }
+
+  // Re-arm a pooled descriptor and take the global TTAS lock; transactions
+  // execute one at a time. A hot-tier predecessor abandoned while active
+  // still holds the lock (on this very thread) — finish it first or the
+  // acquisition below would self-deadlock.
+  void prepare(Txn& tx) {
+    if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
+      undo_writes(tx);
+      tx.status_ = core::TxStatus::kAborted;  // completed, not counted
+      release(tx);
+    }
+    tx.tm_ = this;
+    tx.id_ = next_tx_id();
+    tx.undo_.clear();
+    typename P::Backoff backoff;
+    for (;;) {
+      bool expected = false;
+      if (lock_.value.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+        break;
+      }
+      cm_backoffs_.add();
+      backoff.pause();
+    }
+    tx.status_ = core::TxStatus::kActive;
+  }
+
+  void undo_writes(Txn& tx) {
+    for (auto it = tx.undo_.rbegin(); it != tx.undo_.rend(); ++it) {
+      values_[it->x].store(it->old_value, std::memory_order_relaxed);
+    }
+    tx.undo_.clear();
   }
 
   void release(Txn&) { lock_.value.store(false, std::memory_order_release); }

@@ -42,10 +42,8 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
  public:
   class Txn final : public core::Transaction {
    public:
-    explicit Txn(Tl& tm, core::TxId id) : tm_(tm), id_(id) {}
-    ~Txn() override {
-      if (status_ == core::TxStatus::kActive) tm_.rollback(*this);
-    }
+    Txn() = default;
+    ~Txn() override = default;
     core::TxStatus status() const override { return status_; }
     core::TxId id() const override { return id_; }
 
@@ -60,20 +58,45 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
       std::uint64_t base_version;  // version observed when locking
       core::Value value;
     };
-    Tl& tm_;
-    core::TxId id_;
-    core::TxStatus status_ = core::TxStatus::kActive;
+
+    // An abandoned handle must not leave encounter-time locks behind.
+    void handle_released() noexcept override {
+      if (tm_ != nullptr && status_ == core::TxStatus::kActive) {
+        tm_->rollback(*this);
+        status_ = core::TxStatus::kAborted;  // completed, not counted
+      }
+      core::Transaction::handle_released();
+    }
+
+    Tl* tm_ = nullptr;
+    core::TxId id_ = 0;
+    // A pooled descriptor is born finished; prepare() arms it.
+    core::TxStatus status_ = core::TxStatus::kAborted;
     std::vector<ReadEntry> reads_;
     std::vector<WriteEntry> writes_;
   };
+
+  using Session = core::PooledTmSession<Txn>;
 
   explicit Tl(std::size_t num_tvars, TlOptions options = {})
       : options_(options), num_tvars_(num_tvars) {
     slots_ = std::make_unique<Slot[]>(num_tvars);
   }
 
+  core::TmSession& this_thread_session() override {
+    return session(P::thread_id());
+  }
+
+  core::Transaction& begin(core::TmSession& session) override {
+    Txn& tx = static_cast<Session&>(session).hot();
+    prepare(tx);
+    return tx;
+  }
+
   core::TxnPtr begin() override {
-    return std::make_unique<Txn>(*this, next_tx_id());
+    Txn& tx = static_cast<Session&>(session(P::thread_id())).checkout();
+    prepare(tx);
+    return core::TxnPtr(&tx);
   }
 
   std::optional<core::Value> read(core::Transaction& t,
@@ -215,6 +238,12 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
   runtime::TxStats stats() const override { return collect_stats(); }
   void reset_stats() override { reset_collect_stats(); }
 
+ protected:
+  std::unique_ptr<core::TmSession> make_session(
+      core::ThreadSlot slot) override {
+    return std::make_unique<Session>(slot);
+  }
+
  private:
   struct alignas(runtime::kCacheLineSize) Slot {
     Atomic<std::uint64_t> lock{LockWord::pack(0, false)};
@@ -222,6 +251,20 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
   };
 
   static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  // Re-arm a pooled descriptor. A hot-tier predecessor abandoned while
+  // active still holds its encounter-time locks — release them first
+  // (rollback is idempotent: it clears the write set it walks).
+  void prepare(Txn& tx) {
+    if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
+      rollback(tx);
+    }
+    tx.tm_ = this;
+    tx.id_ = next_tx_id();
+    tx.status_ = core::TxStatus::kActive;
+    tx.reads_.clear();
+    tx.writes_.clear();
+  }
 
   static core::TxId next_tx_id() {
     thread_local std::uint64_t counter = 0;

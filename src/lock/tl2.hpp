@@ -44,7 +44,7 @@ class Tl2 final : public core::TransactionalMemory,
  public:
   class Txn final : public core::Transaction {
    public:
-    Txn(Tl2& tm, core::TxId id, std::uint64_t rv) : tm_(tm), id_(id), rv_(rv) {}
+    Txn() = default;
     ~Txn() override = default;
     core::TxStatus status() const override { return status_; }
     core::TxId id() const override { return id_; }
@@ -59,23 +59,39 @@ class Tl2 final : public core::TransactionalMemory,
       core::TVarId x;
       core::Value value;
     };
-    Tl2& tm_;
-    core::TxId id_;
-    std::uint64_t rv_;  // read version (global clock at begin)
-    core::TxStatus status_ = core::TxStatus::kActive;
+    core::TxId id_ = 0;
+    std::uint64_t rv_ = 0;  // read version (global clock at begin)
+    // A pooled descriptor is born finished; prepare() arms it.
+    core::TxStatus status_ = core::TxStatus::kAborted;
     std::vector<ReadEntry> reads_;
     std::vector<WriteEntry> writes_;
+    // Commit-path scratch (pre-lock versions of the write set): lives in
+    // the descriptor so acquiring the write locks allocates nothing after
+    // warm-up.
+    std::vector<std::uint64_t> lock_versions_;
   };
+
+  using Session = core::PooledTmSession<Txn>;
 
   explicit Tl2(std::size_t num_tvars, Tl2Options options = {})
       : options_(options), num_tvars_(num_tvars) {
     slots_ = std::make_unique<Slot[]>(num_tvars);
   }
 
+  core::TmSession& this_thread_session() override {
+    return session(P::thread_id());
+  }
+
+  core::Transaction& begin(core::TmSession& session) override {
+    Txn& tx = static_cast<Session&>(session).hot();
+    prepare(tx);
+    return tx;
+  }
+
   core::TxnPtr begin() override {
-    // The shared-clock read that makes TL2 non-strictly-DAP.
-    const std::uint64_t rv = clock_.value.load(std::memory_order_acquire);
-    return std::make_unique<Txn>(*this, next_tx_id(), rv);
+    Txn& tx = static_cast<Session&>(session(P::thread_id())).checkout();
+    prepare(tx);
+    return core::TxnPtr(&tx);
   }
 
   std::optional<core::Value> read(core::Transaction& t,
@@ -139,7 +155,8 @@ class Tl2 final : public core::TransactionalMemory,
     // spins (liveness: self-abort, as in the original).
     std::sort(tx.writes_.begin(), tx.writes_.end(),
               [](const auto& a, const auto& b) { return a.x < b.x; });
-    std::vector<std::uint64_t> base;
+    std::vector<std::uint64_t>& base = tx.lock_versions_;
+    base.clear();
     base.reserve(tx.writes_.size());
     typename P::Backoff backoff;
     for (std::size_t i = 0; i < tx.writes_.size(); ++i) {
@@ -218,6 +235,12 @@ class Tl2 final : public core::TransactionalMemory,
   runtime::TxStats stats() const override { return collect_stats(); }
   void reset_stats() override { reset_collect_stats(); }
 
+ protected:
+  std::unique_ptr<core::TmSession> make_session(
+      core::ThreadSlot slot) override {
+    return std::make_unique<Session>(slot);
+  }
+
  private:
   struct alignas(runtime::kCacheLineSize) Slot {
     Atomic<std::uint64_t> lock{LockWord::pack(0, false)};
@@ -225,6 +248,18 @@ class Tl2 final : public core::TransactionalMemory,
   };
 
   static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  // Re-arm a pooled descriptor; set capacity survives. TL2 transactions
+  // hold no locks before try_commit (and try_commit always releases), so
+  // an abandoned predecessor needs no cleanup.
+  void prepare(Txn& tx) {
+    // The shared-clock read that makes TL2 non-strictly-DAP.
+    tx.rv_ = clock_.value.load(std::memory_order_acquire);
+    tx.id_ = next_tx_id();
+    tx.status_ = core::TxStatus::kActive;
+    tx.reads_.clear();
+    tx.writes_.clear();
+  }
 
   static core::TxId next_tx_id() {
     thread_local std::uint64_t counter = 0;

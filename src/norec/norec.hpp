@@ -59,6 +59,14 @@ class WriteSet {
   bool empty() const noexcept { return size_ == 0; }
   std::size_t size() const noexcept { return size_; }
 
+  // Drop every entry but keep the table's capacity: a pooled descriptor's
+  // write set warms up once and then never allocates again.
+  void clear() noexcept {
+    if (size_ == 0) return;
+    for (Entry& e : table_) e = Entry{core::kInvalidTVar, 0};
+    size_ = 0;
+  }
+
   const core::Value* find(core::TVarId x) const noexcept {
     const std::size_t mask = table_.size() - 1;
     for (std::size_t i = slot_of(x, mask);; i = (i + 1) & mask) {
@@ -137,8 +145,7 @@ class Norec final : public core::TransactionalMemory,
  public:
   class Txn final : public core::Transaction {
    public:
-    Txn(core::TxId id, std::uint64_t snapshot)
-        : id_(id), snapshot_(snapshot) {}
+    Txn() = default;
     ~Txn() override = default;
     core::TxStatus status() const override { return status_; }
     core::TxId id() const override { return id_; }
@@ -149,32 +156,37 @@ class Norec final : public core::TransactionalMemory,
       core::TVarId x;
       core::Value value;  // the value this transaction observed
     };
-    core::TxId id_;
-    std::uint64_t snapshot_;  // even sequence-lock value the reads are
-                              // currently validated against
-    core::TxStatus status_ = core::TxStatus::kActive;
+    core::TxId id_ = 0;
+    std::uint64_t snapshot_ = 0;  // even sequence-lock value the reads are
+                                  // currently validated against
+    // A pooled descriptor is born finished; prepare() arms it.
+    core::TxStatus status_ = core::TxStatus::kAborted;
     std::vector<ReadEntry> reads_;
     WriteSet writes_;
     std::uint64_t write_filter_ = 0;
   };
+
+  using Session = core::PooledTmSession<Txn>;
 
   explicit Norec(std::size_t num_tvars, NorecOptions options = {})
       : options_(options), num_tvars_(num_tvars) {
     slots_ = std::make_unique<Slot[]>(num_tvars);
   }
 
+  core::TmSession& this_thread_session() override {
+    return session(P::thread_id());
+  }
+
+  core::Transaction& begin(core::TmSession& session) override {
+    Txn& tx = static_cast<Session&>(session).hot();
+    prepare(tx);
+    return tx;
+  }
+
   core::TxnPtr begin() override {
-    // Snapshot an even (quiescent) sequence-lock value. All shared-word
-    // accesses in this backend are seq_cst: the correctness argument of the
-    // sequence-lock protocol is then a statement about the single total
-    // order S — and seq_cst loads cost the same as acquire loads on the
-    // read hot path of every ISA we target.
-    std::uint64_t s = seqlock_.value.load(std::memory_order_seq_cst);
-    while (s & 1) {
-      P::pause();
-      s = seqlock_.value.load(std::memory_order_seq_cst);
-    }
-    return std::make_unique<Txn>(next_tx_id(), s);
+    Txn& tx = static_cast<Session&>(session(P::thread_id())).checkout();
+    prepare(tx);
+    return core::TxnPtr(&tx);
   }
 
   std::optional<core::Value> read(core::Transaction& t,
@@ -275,12 +287,40 @@ class Norec final : public core::TransactionalMemory,
   runtime::TxStats stats() const override { return collect_stats(); }
   void reset_stats() override { reset_collect_stats(); }
 
+ protected:
+  std::unique_ptr<core::TmSession> make_session(
+      core::ThreadSlot slot) override {
+    return std::make_unique<Session>(slot);
+  }
+
  private:
   struct alignas(runtime::kCacheLineSize) Slot {
     Atomic<core::Value> value{0};
   };
 
   static Txn& txn_cast(core::Transaction& t) { return static_cast<Txn&>(t); }
+
+  // Re-arm a pooled descriptor: read/write-set capacity survives, nothing
+  // allocates. An abandoned active predecessor needs no cleanup here —
+  // NOrec transactions hold no protocol resources before commit.
+  void prepare(Txn& tx) {
+    // Snapshot an even (quiescent) sequence-lock value. All shared-word
+    // accesses in this backend are seq_cst: the correctness argument of the
+    // sequence-lock protocol is then a statement about the single total
+    // order S — and seq_cst loads cost the same as acquire loads on the
+    // read hot path of every ISA we target.
+    std::uint64_t s = seqlock_.value.load(std::memory_order_seq_cst);
+    while (s & 1) {
+      P::pause();
+      s = seqlock_.value.load(std::memory_order_seq_cst);
+    }
+    tx.id_ = next_tx_id();
+    tx.snapshot_ = s;
+    tx.status_ = core::TxStatus::kActive;
+    tx.reads_.clear();
+    tx.writes_.clear();
+    tx.write_filter_ = 0;
+  }
 
   static core::TxId next_tx_id() {
     thread_local std::uint64_t counter = 0;

@@ -9,12 +9,19 @@ EpochManager::EpochManager() = default;
 EpochManager::~EpochManager() {
   // Free everything still queued. Destruction implies quiescence. Deleters
   // may retire further objects (e.g. a locator's destructor retiring its
-  // transaction descriptor), so drain in batches to a fixed point.
-  for (auto& t : threads_) {
-    while (!t.retired.empty()) {
-      std::vector<Retired> batch = std::move(t.retired);
-      t.retired.clear();
-      for (const Retired& r : batch) r.deleter(r.ptr);
+  // transaction descriptor) — and they retire into the *calling* thread's
+  // slot, which may lie before the slot currently being drained. A single
+  // in-order pass therefore leaks those cascaded retirements; repeat the
+  // whole sweep until a pass frees nothing (global fixed point).
+  for (bool any = true; any;) {
+    any = false;
+    for (auto& t : threads_) {
+      while (!t.retired.empty()) {
+        any = true;
+        std::vector<Retired> batch = std::move(t.retired);
+        t.retired.clear();
+        for (const Retired& r : batch) r.deleter(r.ptr);
+      }
     }
   }
 }

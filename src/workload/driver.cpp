@@ -1,63 +1,11 @@
 #include "workload/driver.hpp"
 
-#include <chrono>
 #include <cstdio>
-#include <thread>
-
-#include "runtime/assert.hpp"
-#include "runtime/barrier.hpp"
-#include "runtime/cacheline.hpp"
-#include "runtime/topology.hpp"
-#include "runtime/xorshift.hpp"
-#include "workload/zipf.hpp"
 
 namespace oftm::workload {
-namespace {
 
-using Clock = std::chrono::steady_clock;
+namespace detail {
 
-double seconds_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
-}
-
-// Unique-writes discipline: no two writes anywhere produce the same value,
-// and no write produces the initial value 0.
-core::Value unique_value(int thread, std::uint64_t counter) {
-  return (static_cast<core::Value>(thread + 1) << 40) | (counter + 1);
-}
-
-constexpr int kMaxOpsPerTx = 64;
-
-// One pre-generated logical transaction: its access list plus a write
-// bitmask (bit k set == op k is a read-modify-write).
-struct TxSpec {
-  core::TVarId vars[kMaxOpsPerTx];
-  std::uint64_t write_mask = 0;
-};
-
-// Number of pre-generated transaction specs each worker cycles through
-// (count mode with fewer transactions allocates only tx_per_thread). Large
-// enough that recycling does not visibly narrow the access distribution,
-// small enough that a worker's spec ring (1024 * 520 B ≈ 0.5 MiB) stays
-// cache-resident instead of evicting the TM's own metadata.
-constexpr std::size_t kArenaSpecs = 1024;
-
-// Everything a worker touches on the hot path, isolated on its own cache
-// line(s): pre-generated access lists, private result counters and
-// histograms. No shared writes until flush at run end.
-struct alignas(runtime::kCacheLineSize) WorkerArena {
-  std::vector<TxSpec> specs;
-  RunResult local;
-};
-
-// Draw the access lists for one worker into its arena, before the start
-// barrier, so generation cost (PRNG, zipf rejection sampling) is entirely
-// off the measured path and patterns stay reproducible per (seed, thread).
 void pregenerate_specs(WorkerArena& arena, const WorkloadConfig& config,
                        std::size_t n, int t) {
   runtime::Xoshiro256 rng(runtime::mix64(config.seed * 1000003 +
@@ -107,7 +55,7 @@ void pregenerate_specs(WorkerArena& arena, const WorkloadConfig& config,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 PartitionBounds partition_bounds(std::size_t num_tvars, int threads,
                                  int thread) {
@@ -165,134 +113,37 @@ std::string RunResult::to_string() const {
 
 RunResult run_workload(core::TransactionalMemory& tm,
                        const WorkloadConfig& config) {
-  OFTM_ASSERT(config.threads >= 1);
-  const std::size_t n = tm.num_tvars();
-  OFTM_ASSERT(n >= static_cast<std::size_t>(config.threads));
-
-  runtime::SpinBarrier barrier(static_cast<std::uint32_t>(config.threads) + 1);
-  std::vector<std::thread> workers;
-  std::vector<WorkerArena> arenas(static_cast<std::size_t>(config.threads));
-
-  for (int t = 0; t < config.threads; ++t) {
-    workers.emplace_back([&, t] {
-      if (config.pin_threads) runtime::pin_current_thread(t);
-      WorkerArena& arena = arenas[static_cast<std::size_t>(t)];
-      pregenerate_specs(arena, config, n, t);
-      RunResult& mine = arena.local;
-      // Per-op write decisions are baked into the specs; the value counter
-      // is the only generation state left on the hot path.
-      std::uint64_t value_counter = 0;
-
-      barrier.arrive_and_wait();
-
-      const bool timed = config.run_seconds > 0;
-      const auto deadline =
-          Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double>(config.run_seconds));
-      const int ops =
-          config.ops_per_tx <= kMaxOpsPerTx ? config.ops_per_tx : kMaxOpsPerTx;
-      const std::size_t spec_count = arena.specs.size();
-
-      for (std::uint64_t i = 0; timed || i < config.tx_per_thread; ++i) {
-        // The per-transaction latency timestamp doubles as the duration-mode
-        // deadline check — no extra clock reads on the hot path.
-        const auto tx_start = Clock::now();
-        if (timed && tx_start >= deadline) break;
-        // Cycle the pre-generated access lists; retries replay the same
-        // accesses (it is the same transaction restarted).
-        const TxSpec& spec = arena.specs[i % spec_count];
-
-        bool done = false;
-        bool expired = false;
-        int attempt = 0;
-        for (; attempt < config.max_retries && !done; ++attempt) {
-          // In duration mode the retry loop must also honour the deadline:
-          // a hot-key transaction can otherwise spin through max_retries
-          // (seconds of wall time) long after the budget ran out.
-          if (timed && (attempt & 0xFF) == 0xFF && Clock::now() >= deadline) {
-            expired = true;
-            break;
-          }
-          core::TxnPtr txn = tm.begin();
-          bool ok = true;
-          for (int k = 0; k < ops && ok; ++k) {
-            if ((spec.write_mask >> k) & 1) {
-              // Read-modify-write discipline: every write is preceded by a
-              // read of the same t-variable. Besides being the realistic
-              // access shape, it lets the history checker reconstruct
-              // per-variable version orders exactly (see
-              // history/checker.hpp).
-              ok = tm.read(*txn, spec.vars[k]).has_value() &&
-                   tm.write(*txn, spec.vars[k],
-                            unique_value(t, value_counter++));
-            } else {
-              ok = tm.read(*txn, spec.vars[k]).has_value();
-            }
-          }
-          if (ok && tm.try_commit(*txn)) {
-            ++mine.committed;
-            mine.commit_latency_ns.record(ns_between(tx_start, Clock::now()));
-            mine.retries_per_commit.record(static_cast<std::uint64_t>(attempt));
-            done = true;
-          } else {
-            ++mine.aborted_attempts;
-          }
-        }
-        // Expired mid-retry: the unfinished logical transaction is simply
-        // abandoned (its failed attempts are already counted in
-        // aborted_attempts; no TM transaction is live here). It is not a
-        // gave_up — it never exhausted max_retries.
-        if (expired) break;
-        if (!done) ++mine.gave_up;
-      }
-      barrier.arrive_and_wait();
-    });
-  }
-
-  barrier.arrive_and_wait();
-  const auto start = Clock::now();
-  barrier.arrive_and_wait();
-  const auto stop = Clock::now();
-  for (auto& w : workers) w.join();
-
-  // Single flush point: per-worker arenas merge into the aggregate only
-  // after every worker has passed the end barrier.
-  RunResult total;
-  total.seconds = seconds_between(start, stop);
-  for (WorkerArena& arena : arenas) {
-    arena.local.per_thread_committed.assign(1, arena.local.committed);
-    total.merge_from(arena.local);
-  }
-  total.tm_stats = tm.stats();
-  return total;
+  return detail::run_workload_impl<core::TransactionalMemory>(tm, config);
 }
 
 RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
                             std::uint64_t tx_per_thread, std::size_t accounts,
                             core::Value initial_balance, std::uint64_t seed,
                             bool* invariant_ok, bool pin_threads) {
+  using detail::Clock;
   OFTM_ASSERT(accounts >= 2);
   OFTM_ASSERT(tm.num_tvars() >= accounts);
 
-  // Seed balances through committed transactions (quiescent setup).
+  // Seed balances through a committed transaction (quiescent setup).
   {
-    core::TxnPtr txn = tm.begin();
+    core::Transaction& txn = tm.begin(tm.this_thread_session());
     for (std::size_t a = 0; a < accounts; ++a) {
-      OFTM_ASSERT(tm.write(*txn, static_cast<core::TVarId>(a),
+      OFTM_ASSERT(tm.write(txn, static_cast<core::TVarId>(a),
                            initial_balance));
     }
-    OFTM_ASSERT(tm.try_commit(*txn));
+    OFTM_ASSERT(tm.try_commit(txn));
   }
 
   runtime::SpinBarrier barrier(static_cast<std::uint32_t>(threads) + 1);
   std::vector<std::thread> workers;
-  std::vector<WorkerArena> arenas(static_cast<std::size_t>(threads));
+  std::vector<detail::WorkerArena> arenas(static_cast<std::size_t>(threads));
 
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       if (pin_threads) runtime::pin_current_thread(t);
       runtime::Xoshiro256 rng(runtime::mix64(seed + 31 * t));
       RunResult& mine = arenas[static_cast<std::size_t>(t)].local;
+      core::TmSession& session = tm.this_thread_session();
       barrier.arrive_and_wait();
       for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
         const auto from = static_cast<core::TVarId>(rng.next_range(accounts));
@@ -303,27 +154,28 @@ RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
         std::uint64_t attempts = 0;
         bool done = false;
         while (!done) {
-          core::TxnPtr txn = tm.begin();
-          const auto fb = tm.read(*txn, from);
+          core::Transaction& txn = tm.begin(session);
+          const auto fb = tm.read(txn, from);
           if (!fb) {
             ++mine.aborted_attempts;
             ++attempts;
             continue;
           }
           if (*fb < amount) {
-            tm.try_abort(*txn);  // insufficient funds: requested abort
-            done = true;         // not a retry — the transfer is dropped
+            tm.try_abort(txn);  // insufficient funds: requested abort
+            done = true;        // not a retry — the transfer is dropped
             break;
           }
-          const auto tb = tm.read(*txn, to);
-          if (!tb || !tm.write(*txn, from, *fb - amount) ||
-              !tm.write(*txn, to, *tb + amount) || !tm.try_commit(*txn)) {
+          const auto tb = tm.read(txn, to);
+          if (!tb || !tm.write(txn, from, *fb - amount) ||
+              !tm.write(txn, to, *tb + amount) || !tm.try_commit(txn)) {
             ++mine.aborted_attempts;
             ++attempts;
             continue;
           }
           ++mine.committed;
-          mine.commit_latency_ns.record(ns_between(tx_start, Clock::now()));
+          mine.commit_latency_ns.record(
+              detail::ns_between(tx_start, Clock::now()));
           mine.retries_per_commit.record(attempts);
           done = true;
         }
@@ -347,8 +199,8 @@ RunResult run_bank_workload(core::TransactionalMemory& tm, int threads,
   }
 
   RunResult total;
-  total.seconds = seconds_between(start, stop);
-  for (WorkerArena& arena : arenas) {
+  total.seconds = detail::seconds_between(start, stop);
+  for (detail::WorkerArena& arena : arenas) {
     arena.local.per_thread_committed.assign(1, arena.local.committed);
     total.merge_from(arena.local);
   }

@@ -1,22 +1,36 @@
 // Multi-threaded workload driver: generates transactional workloads against
-// any core::TransactionalMemory, measures throughput/abort behaviour and
-// per-transaction commit latency, and (optionally) enforces the
-// unique-writes discipline plus an invariant the checkers can verify
-// afterwards.
+// any TM, measures throughput/abort behaviour and per-transaction commit
+// latency, and (optionally) enforces the unique-writes discipline plus an
+// invariant the checkers can verify afterwards.
 //
 // Scaling design: each worker owns a cache-line-isolated arena (its
 // pre-generated access lists, its RunResult counters and its latency
 // histograms). The hot path touches only that arena; results are flushed
 // into the shared aggregate exactly once, at run end, so driver overhead
 // stays flat as thread counts grow.
+//
+// Execution tiers: the measured loop runs on the pooled-session hot tier —
+// each worker begins every transaction on its own TmSession, so after
+// warm-up a transaction costs zero allocations and (when `run_workload` is
+// instantiated with a concrete backend type via workload::visit_tm) no
+// virtual dispatch either. The `core::TransactionalMemory&` overload keeps
+// the fully type-erased path for wrappers like the history recorder.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/tm.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/cacheline.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/xorshift.hpp"
+#include "workload/zipf.hpp"
 
 namespace oftm::workload {
 
@@ -102,11 +116,183 @@ struct RunResult {
   std::string to_string() const;
 };
 
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+inline std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+// Unique-writes discipline: no two writes anywhere produce the same value,
+// and no write produces the initial value 0.
+inline core::Value unique_value(int thread, std::uint64_t counter) {
+  return (static_cast<core::Value>(thread + 1) << 40) | (counter + 1);
+}
+
+inline constexpr int kMaxOpsPerTx = 64;
+
+// One pre-generated logical transaction: its access list plus a write
+// bitmask (bit k set == op k is a read-modify-write).
+struct TxSpec {
+  core::TVarId vars[kMaxOpsPerTx];
+  std::uint64_t write_mask = 0;
+};
+
+// Number of pre-generated transaction specs each worker cycles through
+// (count mode with fewer transactions allocates only tx_per_thread). Large
+// enough that recycling does not visibly narrow the access distribution,
+// small enough that a worker's spec ring (1024 * 520 B ≈ 0.5 MiB) stays
+// cache-resident instead of evicting the TM's own metadata.
+inline constexpr std::size_t kArenaSpecs = 1024;
+
+// Everything a worker touches on the hot path, isolated on its own cache
+// line(s): pre-generated access lists, private result counters and
+// histograms. No shared writes until flush at run end.
+struct alignas(runtime::kCacheLineSize) WorkerArena {
+  std::vector<TxSpec> specs;
+  RunResult local;
+};
+
+// Draw the access lists for one worker into its arena, before the start
+// barrier, so generation cost (PRNG, zipf rejection sampling) is entirely
+// off the measured path and patterns stay reproducible per (seed, thread).
+void pregenerate_specs(WorkerArena& arena, const WorkloadConfig& config,
+                       std::size_t n, int t);
+
+// The measured loop, templated over the TM type: with a concrete backend
+// (final class) every session/read/write/commit call devirtualizes and
+// inlines; with Tm = core::TransactionalMemory this is the portable
+// virtual-dispatch path. Either way every transaction runs on the
+// worker's pooled session — no per-transaction allocations.
+template <typename Tm>
+RunResult run_workload_impl(Tm& tm, const WorkloadConfig& config) {
+  OFTM_ASSERT(config.threads >= 1);
+  const std::size_t n = tm.num_tvars();
+  OFTM_ASSERT(n >= static_cast<std::size_t>(config.threads));
+
+  runtime::SpinBarrier barrier(static_cast<std::uint32_t>(config.threads) + 1);
+  std::vector<std::thread> workers;
+  std::vector<WorkerArena> arenas(static_cast<std::size_t>(config.threads));
+
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (config.pin_threads) runtime::pin_current_thread(t);
+      WorkerArena& arena = arenas[static_cast<std::size_t>(t)];
+      pregenerate_specs(arena, config, n, t);
+      RunResult& mine = arena.local;
+      // The worker's pooled session: one reusable descriptor for every
+      // transaction (and retry) this thread runs.
+      core::TmSession& session = tm.this_thread_session();
+      // Per-op write decisions are baked into the specs; the value counter
+      // is the only generation state left on the hot path.
+      std::uint64_t value_counter = 0;
+
+      barrier.arrive_and_wait();
+
+      const bool timed = config.run_seconds > 0;
+      const auto deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(config.run_seconds));
+      const int ops =
+          config.ops_per_tx <= kMaxOpsPerTx ? config.ops_per_tx : kMaxOpsPerTx;
+      const std::size_t spec_count = arena.specs.size();
+
+      for (std::uint64_t i = 0; timed || i < config.tx_per_thread; ++i) {
+        // The per-transaction latency timestamp doubles as the duration-mode
+        // deadline check — no extra clock reads on the hot path.
+        const auto tx_start = Clock::now();
+        if (timed && tx_start >= deadline) break;
+        // Cycle the pre-generated access lists; retries replay the same
+        // accesses (it is the same transaction restarted).
+        const TxSpec& spec = arena.specs[i % spec_count];
+
+        bool done = false;
+        bool expired = false;
+        int attempt = 0;
+        for (; attempt < config.max_retries && !done; ++attempt) {
+          // In duration mode the retry loop must also honour the deadline:
+          // a hot-key transaction can otherwise spin through max_retries
+          // (seconds of wall time) long after the budget ran out.
+          if (timed && (attempt & 0xFF) == 0xFF && Clock::now() >= deadline) {
+            expired = true;
+            break;
+          }
+          core::Transaction& txn = tm.begin(session);
+          bool ok = true;
+          for (int k = 0; k < ops && ok; ++k) {
+            if ((spec.write_mask >> k) & 1) {
+              // Read-modify-write discipline: every write is preceded by a
+              // read of the same t-variable. Besides being the realistic
+              // access shape, it lets the history checker reconstruct
+              // per-variable version orders exactly (see
+              // history/checker.hpp).
+              ok = tm.read(txn, spec.vars[k]).has_value() &&
+                   tm.write(txn, spec.vars[k],
+                            unique_value(t, value_counter++));
+            } else {
+              ok = tm.read(txn, spec.vars[k]).has_value();
+            }
+          }
+          if (ok && tm.try_commit(txn)) {
+            ++mine.committed;
+            mine.commit_latency_ns.record(ns_between(tx_start, Clock::now()));
+            mine.retries_per_commit.record(static_cast<std::uint64_t>(attempt));
+            done = true;
+          } else {
+            ++mine.aborted_attempts;
+          }
+        }
+        // Expired mid-retry: the unfinished logical transaction is simply
+        // abandoned (its failed attempts are already counted in
+        // aborted_attempts; no TM transaction is live here). It is not a
+        // gave_up — it never exhausted max_retries.
+        if (expired) break;
+        if (!done) ++mine.gave_up;
+      }
+      barrier.arrive_and_wait();
+    });
+  }
+
+  barrier.arrive_and_wait();
+  const auto start = Clock::now();
+  barrier.arrive_and_wait();
+  const auto stop = Clock::now();
+  for (auto& w : workers) w.join();
+
+  // Single flush point: per-worker arenas merge into the aggregate only
+  // after every worker has passed the end barrier.
+  RunResult total;
+  total.seconds = seconds_between(start, stop);
+  for (WorkerArena& arena : arenas) {
+    arena.local.per_thread_committed.assign(1, arena.local.committed);
+    total.merge_from(arena.local);
+  }
+  total.tm_stats = tm.stats();
+  return total;
+}
+
+}  // namespace detail
+
 // Run the configured workload to completion. Written values follow the
 // unique-writes discipline (value = (thread+1) << 40 | counter), so recorded
 // histories can be checked with history::check_mvsg.
 RunResult run_workload(core::TransactionalMemory& tm,
                        const WorkloadConfig& config);
+
+// Same loop with the TM's concrete type visible to the compiler: backends
+// are final classes, so session/begin/read/write/try_commit devirtualize
+// and inline. Pair with workload::visit_tm to go from a recipe name to
+// this overload.
+template <typename Tm>
+RunResult run_workload(Tm& tm, const WorkloadConfig& config) {
+  return detail::run_workload_impl(tm, config);
+}
 
 // Transfer workload preserving a checkable invariant: `accounts` t-vars
 // each start with `initial_balance`; every transaction moves a random

@@ -1,6 +1,14 @@
 // Backend factory: construct any TM in this repo by name. Used by benches,
 // tests and examples so experiment code is backend-agnostic.
 //
+// Two entry points share one recipe grammar:
+//   make_tm()  (here)                — type-erased core::TransactionalMemory,
+//                                      the portability tier every checker and
+//                                      the conformance harness drive.
+//   visit_tm() (workload/visit.hpp)  — static dispatch to the concrete
+//                                      backend type, for hot loops that must
+//                                      not pay virtual dispatch per op.
+//
 // Names:
 //   dstm[:<cm>]        DSTM with the given contention manager (default
 //                      polite); "dstm-collapse[:<cm>]" enables eager

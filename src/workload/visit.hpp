@@ -1,0 +1,116 @@
+// Static-dispatch backend factory: construct the TM a recipe names as its
+// *concrete* type and hand it to a generic lambda. Where make_tm() returns
+// a type-erased core::TransactionalMemory (one virtual call per operation),
+// visit_tm() lets the driver and benches instantiate their hot loops per
+// backend — reads, writes and commits devirtualize and inline, so harness
+// overhead stops masking the backend deltas the repo exists to measure.
+//
+//   workload::visit_tm(name, num_tvars, [&](auto& tm) {
+//     result = workload::run_workload(tm, config);  // concrete overload
+//   });
+//
+// Accepts exactly the recipes make_tm() accepts (same names, same options,
+// same error behaviour — a drift test in tm_conformance_test.cpp pins the
+// two tables against each other). The TM lives for the duration of the
+// call; the lambda's return value (if any) is passed through.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "cm/managers.hpp"
+#include "dstm/dstm.hpp"
+#include "foctm/foctm.hpp"
+#include "lock/coarse.hpp"
+#include "lock/tl.hpp"
+#include "lock/tl2.hpp"
+#include "norec/norec.hpp"
+
+namespace oftm::workload {
+
+template <typename F>
+auto visit_tm(const std::string& name, std::size_t num_tvars, F&& f) {
+  // All branches must agree on the return type; a generic lambda does.
+  using R = std::invoke_result_t<F&, norec::HwNorec&>;
+
+  std::string base = name;
+  std::string cm_name = "polite";
+  bool has_cm = false;
+  if (const auto colon = name.find(':'); colon != std::string::npos) {
+    base = name.substr(0, colon);
+    cm_name = name.substr(colon + 1);
+    has_cm = true;
+  }
+  // Only the DSTM family takes a contention manager; a ':<cm>' suffix on
+  // any other backend is a recipe typo and must fail loudly, not silently
+  // run the base backend.
+  if (has_cm && base != "dstm" && base != "dstm-collapse" &&
+      base != "dstm-visible") {
+    throw std::invalid_argument("backend does not take a contention manager: " +
+                                name);
+  }
+
+  auto invoke = [&f](auto& tm) -> R {
+    if constexpr (std::is_void_v<R>) {
+      f(tm);
+    } else {
+      return f(tm);
+    }
+  };
+
+  if (base == "dstm" || base == "dstm-collapse" || base == "dstm-visible") {
+    dstm::DstmOptions options;
+    options.eager_collapse = (base == "dstm-collapse");
+    options.visible_reads = (base == "dstm-visible");
+    dstm::HwDstm tm(num_tvars, cm::make_manager(cm_name), options);
+    return invoke(tm);
+  }
+  if (base == "foctm") {
+    foctm::Foctm<core::HwPlatform, foc::CasFocPolicy<core::HwPlatform>> tm(
+        num_tvars, foctm::FoctmOptions{/*use_hints=*/false});
+    return invoke(tm);
+  }
+  if (base == "foctm-hinted") {
+    foctm::Foctm<core::HwPlatform, foc::CasFocPolicy<core::HwPlatform>> tm(
+        num_tvars, foctm::FoctmOptions{/*use_hints=*/true});
+    return invoke(tm);
+  }
+  if (base == "foctm-strict") {
+    foctm::Foctm<core::HwPlatform, foc::StrictFocPolicy<core::HwPlatform>> tm(
+        num_tvars, foctm::FoctmOptions{/*use_hints=*/true});
+    return invoke(tm);
+  }
+  if (base == "tl") {
+    lock::HwTl tm(num_tvars);
+    return invoke(tm);
+  }
+  if (base == "tl2") {
+    lock::HwTl2 tm(num_tvars);
+    return invoke(tm);
+  }
+  if (base == "tl2-ext") {
+    lock::Tl2Options options;
+    options.rv_extension = true;
+    lock::HwTl2 tm(num_tvars, options);
+    return invoke(tm);
+  }
+  if (base == "coarse") {
+    lock::HwCoarse tm(num_tvars);
+    return invoke(tm);
+  }
+  if (base == "norec") {
+    norec::HwNorec tm(num_tvars);
+    return invoke(tm);
+  }
+  if (base == "norec-bloom") {
+    norec::NorecOptions options;
+    options.bloom_reads = true;
+    norec::HwNorec tm(num_tvars, options);
+    return invoke(tm);
+  }
+  throw std::invalid_argument("unknown TM backend: " + name);
+}
+
+}  // namespace oftm::workload

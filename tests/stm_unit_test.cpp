@@ -155,6 +155,25 @@ TEST_P(StmUnitTest, AtomicallyCancelPropagates) {
   EXPECT_EQ(tm_->read_quiescent(21), 0u);
 }
 
+TEST_P(StmUnitTest, ForeignExceptionFinishesTheTransaction) {
+  // A non-TM exception unwinding out of a body must not leak backend
+  // resources (coarse's global lock, TL's encounter-time locks): the
+  // attempt loop aborts the pooled transaction before propagating.
+  struct Boom {};
+  EXPECT_THROW(core::atomically(*tm_,
+                                [](core::TxView& tx) {
+                                  tx.write(25, 1);
+                                  throw Boom{};
+                                }),
+               Boom);
+  // Progress and isolation after the unwind: a fresh transaction runs to
+  // commit (this deadlocks on coarse if the lock leaked) and must not see
+  // the aborted write.
+  const auto v =
+      core::atomically(*tm_, [](core::TxView& tx) { return tx.read(25); });
+  EXPECT_EQ(v, 0u);
+}
+
 TEST_P(StmUnitTest, TypedTVarRoundTrip) {
   const core::TVar<double> pi(30);
   const core::TVar<int> counter(31);

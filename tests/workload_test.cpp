@@ -69,6 +69,7 @@ class AlwaysAbortCommitTm : public core::TransactionalMemory {
   explicit AlwaysAbortCommitTm(core::TransactionalMemory& inner)
       : inner_(inner) {}
 
+  using core::TransactionalMemory::begin;  // keep begin(TmSession&) visible
   core::TxnPtr begin() override { return inner_.begin(); }
   std::optional<core::Value> read(core::Transaction& txn,
                                   core::TVarId x) override {
