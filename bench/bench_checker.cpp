@@ -1,0 +1,99 @@
+// CHK — checker throughput: transactions checked per second, swept over
+// history size and hot-key skew.
+//
+// The verification tier is only useful if it keeps up with the workloads
+// it audits (ROADMAP "Opacity checking at stress scale"): every future
+// perf PR leans on check_mvsg to stay semantically honest, so the checker
+// itself gets a committed baseline and rides the bench-diff CI job. The
+// swept corner — 100k transactions, hot_fraction 1.0 — is the
+// single-hot-key worst case the checked-stress tier pins at <= 5 s; here
+// it is measured, not just bounded.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "history/checker.hpp"
+#include "history/synth.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+void BM_CheckMvsgStrict(benchmark::State& state) {
+  const auto txns = static_cast<std::size_t>(state.range(0));
+  const int hot_pct = static_cast<int>(state.range(1));
+
+  oftm::history::synth::SynthOptions opts;
+  opts.transactions = txns;
+  opts.num_tvars = 256;
+  opts.ops_per_tx = 4;
+  opts.write_fraction = 0.5;
+  opts.hot_fraction = static_cast<double>(hot_pct) / 100.0;
+  opts.seed = 42;
+  // Generation is outside the measured region; the history is reused
+  // across iterations (check_mvsg does not mutate it).
+  const auto history = oftm::history::synth::make_history(opts);
+
+  oftm::history::MvsgOptions strict;
+  strict.respect_real_time = true;
+  strict.include_aborted_readers = true;
+
+  double seconds = 0;
+  std::uint64_t checked = 0;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = oftm::history::check_mvsg(history, strict);
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    state.SetIterationTime(dt);
+    if (!r.ok) {
+      state.SkipWithError("checker rejected a clean synthetic history");
+      return;
+    }
+    seconds += dt;
+    checked += txns;
+    ++iterations;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checked));
+  state.counters["hot_pct"] = hot_pct;
+
+  char scenario[64];
+  std::snprintf(scenario, sizeof(scenario), "mvsg_strict/%zu/hot%03d", txns,
+                hot_pct);
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "CHK")
+          .field("scenario", scenario)
+          .field("backend", "mvsg-indexed")
+          .field_raw("config",
+                     oftm::workload::report::Json()
+                         .field("txns", static_cast<std::uint64_t>(txns))
+                         .field("num_tvars",
+                                static_cast<std::uint64_t>(opts.num_tvars))
+                         .field("ops_per_tx", opts.ops_per_tx)
+                         .field("write_fraction", opts.write_fraction)
+                         .field("hot_fraction", opts.hot_fraction)
+                         .str())
+          .field("throughput_tx_s",
+                 seconds > 0 ? static_cast<double>(checked) / seconds : 0.0)
+          .field("check_seconds",
+                 iterations > 0 ? seconds / static_cast<double>(iterations)
+                                : 0.0));
+}
+
+void register_all() {
+  for (std::int64_t txns : {10'000, 50'000, 100'000}) {
+    for (std::int64_t hot_pct : {0, 50, 100}) {
+      benchmark::RegisterBenchmark("CHK/mvsg_strict", BM_CheckMvsgStrict)
+          ->Args({txns, hot_pct})
+          ->UseManualTime()
+          ->Iterations(3);
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace

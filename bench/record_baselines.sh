@@ -4,7 +4,7 @@
 # Usage: bench/record_baselines.sh [BUILD_DIR]   (default: build/release)
 #
 # Produces, under bench/baselines/:
-#   REPORT_<bench>.jsonl       shared JSON-lines run report, all 11 benches
+#   REPORT_<bench>.jsonl       shared JSON-lines run report, all 12 benches
 #   BENCH_throughput.json      google-benchmark JSON (headline comparison)
 #   BENCH_foctm_overhead.json  google-benchmark JSON
 #
@@ -15,9 +15,9 @@ build_dir="${1:-build/release}"
 out_dir="$(cd "$(dirname "$0")" && pwd)/baselines"
 mkdir -p "$out_dir"
 
-gbench_benches=(bench_contention_managers bench_dap_hotspot bench_eventual_ic
-                bench_foc bench_foctm_overhead bench_reclamation
-                bench_throughput)
+gbench_benches=(bench_checker bench_contention_managers bench_dap_hotspot
+                bench_eventual_ic bench_foc bench_foctm_overhead
+                bench_reclamation bench_throughput)
 standalone_benches=(bench_consensus_number bench_dap_violations
                     bench_fig1_history bench_fig2_dap)
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <tuple>
+#include <unordered_map>
 
 namespace oftm::dap {
 namespace {
@@ -31,20 +33,43 @@ bool disjoint(const std::set<core::TVarId>& a,
 
 ConflictReport analyze(const std::vector<sim::Step>& trace,
                        const Footprints& footprints) {
-  // Group accesses per base object.
-  std::map<const void*, std::vector<Access>> by_object;
+  // Group accesses per base object, remembering each object's
+  // first-appearance rank so reports stay diffable across runs (the pointer
+  // itself is ASLR noise).
+  struct ObjectAccesses {
+    std::size_t ord = 0;
+    std::vector<Access> accesses;
+  };
+  std::unordered_map<const void*, ObjectAccesses> by_object;
+  std::size_t next_ord = 0;
   for (const sim::Step& s : trace) {
     if (!s.is_shared_access() || s.label == 0) continue;
-    by_object[s.obj].push_back(Access{s.label, s.modifies()});
+    auto [it, inserted] = by_object.try_emplace(s.obj);
+    if (inserted) it->second.ord = next_ord++;
+    it->second.accesses.push_back(Access{s.label, s.modifies()});
   }
+
+  // Per-label footprints as sorted vectors, converted once — a label that
+  // shows up in k conflict pairs would otherwise pay k set->vector
+  // conversions on hotspot traces.
+  std::unordered_map<std::uint64_t, std::vector<core::TVarId>> fp_vec;
+  fp_vec.reserve(footprints.size());
+  for (const auto& [label, tvars] : footprints) {
+    fp_vec.emplace(label,
+                   std::vector<core::TVarId>(tvars.begin(), tvars.end()));
+  }
+  auto footprint_of = [&](std::uint64_t label) -> std::vector<core::TVarId> {
+    const auto it = fp_vec.find(label);
+    return it == fp_vec.end() ? std::vector<core::TVarId>{} : it->second;
+  };
 
   ConflictReport report;
   std::set<std::tuple<std::uint64_t, std::uint64_t, const void*>> seen;
 
-  for (const auto& [obj, accesses] : by_object) {
+  for (const auto& [obj, oa] : by_object) {
     // Collapse to per-transaction (any access, any modifying access).
     std::map<std::uint64_t, bool> mods;  // label -> modified?
-    for (const Access& a : accesses) {
+    for (const Access& a : oa.accesses) {
       auto [it, inserted] = mods.emplace(a.label, a.modifies);
       if (!inserted) it->second = it->second || a.modifies;
     }
@@ -58,34 +83,61 @@ ConflictReport analyze(const std::vector<sim::Step>& trace,
         pair.tx_a = a;
         pair.tx_b = b;
         pair.object = obj;
+        pair.object_ord = oa.ord;
         const auto fa = footprints.find(a);
         const auto fb = footprints.find(b);
         pair.disjoint_tvars =
             fa != footprints.end() && fb != footprints.end() &&
             disjoint(fa->second, fb->second);
+        pair.tvars_a = footprint_of(a);
+        pair.tvars_b = footprint_of(b);
         if (pair.disjoint_tvars) {
           ++report.violations;
         } else {
           ++report.benign_conflicts;
         }
-        report.pairs.push_back(pair);
+        report.pairs.push_back(std::move(pair));
       }
     }
   }
+  // Deterministic order for diffable witness output (hash-map iteration
+  // order would leak pointer entropy into the report).
+  std::sort(report.pairs.begin(), report.pairs.end(),
+            [](const ConflictPair& x, const ConflictPair& y) {
+              return std::tie(x.object_ord, x.tx_a, x.tx_b) <
+                     std::tie(y.object_ord, y.tx_a, y.tx_b);
+            });
   return report;
 }
 
 std::string ConflictReport::summarize(
     const std::vector<std::pair<const void*, std::string>>& names) const {
-  auto name_of = [&](const void* obj) -> std::string {
+  auto name_of = [&](const ConflictPair& pair) -> std::string {
     for (const auto& [p, n] : names) {
-      if (p == obj) return n;
+      if (p == pair.object) return n;
     }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%p", obj);
-    return buf;
+    // Stable ordinal fallback: "obj#3" diffs across runs where a raw
+    // pointer would not.
+    return "obj#" + std::to_string(pair.object_ord);
   };
-  char line[192];
+  auto footprint_str = [](const std::vector<core::TVarId>& tvars) {
+    if (tvars.empty()) return std::string("{}");
+    std::string out = "{";
+    for (std::size_t i = 0; i < tvars.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "x";
+      out += std::to_string(tvars[i]);
+    }
+    out += "}";
+    return out;
+  };
+  auto tx_name = [](std::uint64_t tx) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "T%llx",
+                  static_cast<unsigned long long>(tx));
+    return std::string(buf);
+  };
+  char line[128];
   std::string out;
   std::snprintf(line, sizeof(line),
                 "base-object conflict pairs: %zu (strict-DAP violations: "
@@ -93,14 +145,20 @@ std::string ConflictReport::summarize(
                 pairs.size(), static_cast<unsigned long long>(violations),
                 static_cast<unsigned long long>(benign_conflicts));
   out += line;
+  // String concatenation, not fixed buffers: object names and footprints
+  // are unbounded, and a truncated witness line (losing its newline) would
+  // corrupt exactly the large audits this report exists for.
   for (const ConflictPair& p : pairs) {
-    std::snprintf(line, sizeof(line),
-                  "  T%llx <-> T%llx on %s%s\n",
-                  static_cast<unsigned long long>(p.tx_a),
-                  static_cast<unsigned long long>(p.tx_b),
-                  name_of(p.object).c_str(),
-                  p.disjoint_tvars ? "  [DISJOINT t-vars: violation]" : "");
-    out += line;
+    out += "  " + tx_name(p.tx_a) + " <-> " + tx_name(p.tx_b) + " on " +
+           name_of(p);
+    if (p.disjoint_tvars) out += "  [DISJOINT t-vars: violation]";
+    out += "\n";
+    if (p.disjoint_tvars) {
+      out += "    " + tx_name(p.tx_a) + " t-vars: " +
+             footprint_str(p.tvars_a) + "\n";
+      out += "    " + tx_name(p.tx_b) + " t-vars: " +
+             footprint_str(p.tvars_b) + "\n";
+    }
   }
   return out;
 }

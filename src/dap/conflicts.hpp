@@ -11,7 +11,10 @@
 // conflicts between distinct transactions, then flag those whose
 // t-variable footprints are disjoint — each such pair is a strict-DAP
 // violation witness (in DSTM: the CASes on a shared transaction
-// descriptor's status; in TL2: the global clock).
+// descriptor's status; in TL2: the global clock). Each pair carries the
+// full conflict-graph witness: the base object (with a stable per-trace
+// ordinal so reports diff across runs), both transaction ids, and both
+// t-variable footprints.
 #pragma once
 
 #include <cstdint>
@@ -33,14 +36,27 @@ struct ConflictPair {
   std::uint64_t tx_a = 0;
   std::uint64_t tx_b = 0;
   const void* object = nullptr;  // the shared base object
+  // Stable ordinal of the object: its first-appearance rank among labeled
+  // shared accesses in the trace. Unlike the raw pointer, this is
+  // deterministic across runs, so witness output is diffable.
+  std::size_t object_ord = 0;
   bool disjoint_tvars = false;   // true => strict-DAP violation witness
+  // Full witness: both transactions' t-variable footprints (sorted; empty
+  // when the label has no footprint entry).
+  std::vector<core::TVarId> tvars_a;
+  std::vector<core::TVarId> tvars_b;
 };
 
 struct ConflictReport {
-  std::vector<ConflictPair> pairs;     // deduplicated (tx_a < tx_b, object)
+  // Deduplicated (tx_a < tx_b, object), sorted by (object_ord, tx_a, tx_b)
+  // so summaries are stable across runs.
+  std::vector<ConflictPair> pairs;
   std::uint64_t violations = 0;        // pairs with disjoint footprints
   std::uint64_t benign_conflicts = 0;  // pairs sharing a t-variable
 
+  // Human-readable witness listing. Violating pairs print the base object
+  // (name if provided, else the stable "obj#<ord>" fallback), both
+  // transaction ids, and both t-variable footprints.
   std::string summarize(
       const std::vector<std::pair<const void*, std::string>>& names = {})
       const;

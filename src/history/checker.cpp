@@ -4,8 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
-#include <set>
-#include <unordered_map>
+#include <queue>
 #include <vector>
 
 namespace oftm::history {
@@ -17,52 +16,149 @@ std::string tx_name(core::TxId id) {
   return buf;
 }
 
+std::string var_name(core::TVarId x) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "x%u", x);
+  return buf;
+}
+
 // Per-transaction digest: external reads (first value observed per t-var
 // before any own write) and final writes (last written value per t-var).
+// Flat vectors, sorted by t-var after digestion — per-transaction footprints
+// are small (ops_per_tx), so linear scans during digestion beat the
+// allocation churn of one std::map per transaction at stress scale.
+struct VarVal {
+  core::TVarId var;
+  core::Value val;
+};
+
 struct Digest {
   const TxRecord* rec = nullptr;
-  std::map<core::TVarId, core::Value> external_reads;
-  std::map<core::TVarId, core::Value> final_writes;
+  std::vector<VarVal> external_reads;  // sorted by var, one entry per var
+  std::vector<VarVal> final_writes;    // sorted by var, one entry per var
 };
+
+VarVal* find_var(std::vector<VarVal>& v, core::TVarId x) {
+  for (VarVal& e : v) {
+    if (e.var == x) return &e;
+  }
+  return nullptr;
+}
 
 // Digest a transaction, checking its *local* consistency: reads after an own
 // write return the latest own value; repeated external reads agree.
-bool digest_tx(const TxRecord& rec, Digest& out, std::string& err) {
+bool digest_tx(const TxRecord& rec, Digest& out, std::string& err,
+               core::TVarId* bad_var) {
   out.rec = &rec;
-  std::map<core::TVarId, core::Value> own;  // latest own write per var
+  std::vector<VarVal> own;  // latest own write per var
   for (const TxOp& op : rec.ops) {
     if (op.aborted) continue;  // the abort response carries no value
     if (op.op == OpType::kRead) {
-      auto ow = own.find(op.tvar);
-      if (ow != own.end()) {
-        if (op.result != ow->second) {
-          err = tx_name(rec.id) + ": read of x" + std::to_string(op.tvar) +
+      if (const VarVal* ow = find_var(own, op.tvar)) {
+        if (op.result != ow->val) {
+          err = tx_name(rec.id) + ": read of " + var_name(op.tvar) +
                 " after own write returned a foreign value";
+          *bad_var = op.tvar;
           return false;
         }
         continue;  // internal read
       }
-      auto [it, inserted] = out.external_reads.emplace(op.tvar, op.result);
-      if (!inserted && it->second != op.result) {
-        err = tx_name(rec.id) + ": two external reads of x" +
-              std::to_string(op.tvar) + " disagree";
-        return false;
+      if (const VarVal* er = find_var(out.external_reads, op.tvar)) {
+        if (er->val != op.result) {
+          err = tx_name(rec.id) + ": two external reads of " +
+                var_name(op.tvar) + " disagree";
+          *bad_var = op.tvar;
+          return false;
+        }
+      } else {
+        out.external_reads.push_back(VarVal{op.tvar, op.result});
       }
     } else if (op.op == OpType::kWrite) {
-      own[op.tvar] = op.arg;
-      out.final_writes[op.tvar] = op.arg;
+      if (VarVal* ow = find_var(own, op.tvar)) {
+        ow->val = op.arg;
+      } else {
+        own.push_back(VarVal{op.tvar, op.arg});
+      }
+      if (VarVal* fw = find_var(out.final_writes, op.tvar)) {
+        fw->val = op.arg;
+      } else {
+        out.final_writes.push_back(VarVal{op.tvar, op.arg});
+      }
     }
   }
+  auto by_var = [](const VarVal& a, const VarVal& b) { return a.var < b.var; };
+  std::sort(out.external_reads.begin(), out.external_reads.end(), by_var);
+  std::sort(out.final_writes.begin(), out.final_writes.end(), by_var);
   return true;
 }
 
 }  // namespace
 
+const char* to_string(WitnessEdge::Kind k) noexcept {
+  switch (k) {
+    case WitnessEdge::Kind::kVersionOrder: return "ww";
+    case WitnessEdge::Kind::kReadsFrom: return "rf";
+    case WitnessEdge::Kind::kAntiDependency: return "rw";
+    case WitnessEdge::Kind::kRealTime: return "rt";
+    case WitnessEdge::Kind::kLocal: return "local";
+  }
+  return "?";
+}
+
+std::string CheckResult::witness_str() const {
+  std::string out;
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    const WitnessEdge& e = witness[i];
+    const bool chained = i > 0 && witness[i - 1].to == e.from &&
+                         witness[i - 1].kind != WitnessEdge::Kind::kLocal &&
+                         e.kind != WitnessEdge::Kind::kLocal;
+    if (!chained) {
+      if (i > 0) out += "; ";
+      out += tx_name(e.from);
+    }
+    if (e.kind == WitnessEdge::Kind::kLocal) {
+      if (e.to != e.from) {
+        out += ",";
+        out += tx_name(e.to);
+      }
+      out += " local";
+      if (e.tvar != core::kInvalidTVar) {
+        out += "[";
+        out += var_name(e.tvar);
+        out += "]";
+      }
+    } else {
+      out += " -";
+      out += to_string(e.kind);
+      if (e.tvar != core::kInvalidTVar) {
+        out += "[";
+        out += var_name(e.tvar);
+        out += "]";
+      }
+      out += "-> ";
+      out += tx_name(e.to);
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // MVSG checker
+//
+// All per-t-var state (version chains, value lookup, reader resolution)
+// lives in flat arrays sorted by t-var, built in O(A log A) for A recorded
+// accesses. No per-key maps: a single hot key with 100k committed writers
+// costs one sort of its write range plus one binary search per chase step,
+// instead of the hash-map version-placement loop the first implementation
+// used. The acyclicity pass is Kahn's algorithm with real-time edges kept
+// implicit (a sorted doubly-linked list over completion times answers "is
+// any unfinished transaction strictly before me" in O(1)).
 
 CheckResult check_mvsg(const std::vector<TxRecord>& txns,
                        const MvsgOptions& options) {
+  using Kind = WitnessEdge::Kind;
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
   // Node 0 is the virtual initializing transaction T0.
   struct Node {
     Digest digest;
@@ -71,7 +167,9 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     std::uint64_t last_seq = 0;
     core::TxId id = 0;
   };
-  std::vector<Node> nodes(1);
+  std::vector<Node> nodes;
+  nodes.reserve(txns.size() + 1);
+  nodes.emplace_back();
   nodes[0].committed = true;  // T0 precedes everything
 
   for (const TxRecord& rec : txns) {
@@ -81,7 +179,11 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     if (!committed && !options.include_aborted_readers) continue;
     Node n;
     std::string err;
-    if (!digest_tx(rec, n.digest, err)) return CheckResult::failure(err);
+    core::TVarId bad_var = core::kInvalidTVar;
+    if (!digest_tx(rec, n.digest, err, &bad_var)) {
+      return CheckResult::failure(
+          std::move(err), {{Kind::kLocal, rec.id, rec.id, bad_var}});
+    }
     n.committed = committed;
     n.first_seq = rec.first_seq;
     n.last_seq = rec.last_seq;
@@ -90,16 +192,80 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
   }
   const std::size_t n = nodes.size();
 
-  // Version chains: per t-var, the order in which committed writers'
-  // values superseded each other.
+  // ---- Flat access indices, sorted by t-var ------------------------------
+  struct WriteRef {
+    core::TVarId var;
+    std::uint32_t node;
+    core::Value wval;  // final written value (the version this writer made)
+    core::Value rval;  // external read of the same var (valid iff rmw)
+    bool rmw;
+  };
+  struct ReadRef {
+    core::TVarId var;
+    std::uint32_t node;
+    core::Value val;
+  };
+  std::vector<WriteRef> writes;
+  std::vector<ReadRef> reads;
+  {
+    std::size_t nw = 0, nr = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      nr += nodes[i].digest.external_reads.size();
+      if (nodes[i].committed) nw += nodes[i].digest.final_writes.size();
+    }
+    writes.reserve(nw);
+    reads.reserve(nr);
+  }
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const Digest& d = nodes[i].digest;
+    for (const VarVal& r : d.external_reads) {
+      reads.push_back(ReadRef{r.var, i, r.val});
+    }
+    if (!nodes[i].committed) continue;
+    // Both digest vectors are sorted by var: one merge-walk pairs each
+    // final write with the external read of the same var (RMW witness).
+    auto rit = d.external_reads.begin();
+    for (const VarVal& w : d.final_writes) {
+      while (rit != d.external_reads.end() && rit->var < w.var) ++rit;
+      const bool rmw =
+          rit != d.external_reads.end() && rit->var == w.var;
+      writes.push_back(
+          WriteRef{w.var, i, w.val, rmw ? rit->val : 0, rmw});
+    }
+  }
+  std::sort(writes.begin(), writes.end(),
+            [](const WriteRef& a, const WriteRef& b) {
+              return a.var != b.var ? a.var < b.var : a.node < b.node;
+            });
+  std::sort(reads.begin(), reads.end(),
+            [](const ReadRef& a, const ReadRef& b) {
+              return a.var != b.var ? a.var < b.var : a.node < b.node;
+            });
+
+  // ---- Edge accumulation -------------------------------------------------
+  struct Edge {
+    std::uint32_t from;
+    std::uint32_t to;
+    core::TVarId var;
+    Kind kind;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(writes.size() + 2 * reads.size());
+  auto add_edge = [&](std::uint32_t a, std::uint32_t b, core::TVarId var,
+                      Kind kind) {
+    if (a == b) return;
+    edges.push_back(Edge{a, b, var, kind});
+  };
+
+  // ---- Version chains, one contiguous write range per t-var --------------
   //
   // Exact construction (read-modify-write discipline): when every committed
-  // writer of x also externally *read* x, the chain is recovered by
-  // chasing values — the writer that read the initial value produced
-  // version 1, the writer that read version 1 produced version 2, and so
-  // on. A fork (two committed writers read the same version) or a gap
-  // (a writer read a value outside the chain) is itself a serializability
-  // violation for registers and is reported as such.
+  // writer of x also externally *read* x, the chain is recovered by chasing
+  // values — the writer that read the initial value produced version 1, the
+  // writer that read version 1 produced version 2, and so on. A fork (two
+  // committed writers read the same version) or a gap (a writer read a
+  // value outside the chain) is itself a serializability violation for
+  // registers and is reported as such.
   //
   // Fallback (blind writes present): order by transaction completion time.
   // This is exact for non-overlapping writers and for the fully serialized
@@ -107,161 +273,258 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
   // suites use the RMW discipline (workload::run_workload does).
   struct Version {
     core::Value value;
-    std::size_t writer;  // node index
+    std::uint32_t writer;  // node index
   };
-  std::map<core::TVarId, std::vector<Version>> chains;
-  {
-    std::map<core::TVarId, std::vector<std::size_t>> writers_of;
-    for (std::size_t i = 1; i < n; ++i) {
-      if (!nodes[i].committed) continue;
-      for (const auto& [x, v] : nodes[i].digest.final_writes) {
-        writers_of[x].push_back(i);
-      }
-    }
-    for (auto& [x, writers] : writers_of) {
-      bool all_rmw = true;
-      for (std::size_t i : writers) {
-        if (nodes[i].digest.external_reads.find(x) ==
-            nodes[i].digest.external_reads.end()) {
-          all_rmw = false;
-          break;
-        }
-      }
-      auto& chain = chains[x];
-      if (all_rmw) {
-        // Chase the chain from the initial value.
-        std::unordered_map<core::Value, std::vector<std::size_t>> by_read;
-        for (std::size_t i : writers) {
-          by_read[nodes[i].digest.external_reads.at(x)].push_back(i);
-        }
-        core::Value cur = options.initial_value;
-        std::size_t placed = 0;
-        while (placed < writers.size()) {
-          auto it = by_read.find(cur);
-          if (it == by_read.end() || it->second.empty()) {
-            return CheckResult::failure(
-                "version chain gap on x" + std::to_string(x) + ": " +
-                std::to_string(writers.size() - placed) +
-                " committed writer(s) read a superseded value");
-          }
-          if (it->second.size() > 1) {
-            return CheckResult::failure(
-                "version chain fork on x" + std::to_string(x) +
-                ": two committed writers read the same version");
-          }
-          const std::size_t w = it->second.front();
-          it->second.clear();
-          chain.push_back(Version{nodes[w].digest.final_writes.at(x), w});
-          cur = chain.back().value;
-          ++placed;
-        }
-      } else {
-        std::sort(writers.begin(), writers.end(),
-                  [&](std::size_t a, std::size_t b) {
-                    return nodes[a].last_seq < nodes[b].last_seq;
-                  });
-        for (std::size_t i : writers) {
-          chain.push_back(Version{nodes[i].digest.final_writes.at(x), i});
-        }
-      }
-    }
-  }
+  struct ValIdx {
+    core::Value value;
+    std::uint32_t version;  // position within the owning var's chain
+  };
+  struct VarChain {
+    core::TVarId var;
+    std::uint32_t begin;  // offset into chain_pool / value_pool
+    std::uint32_t count;
+  };
+  std::vector<Version> chain_pool;
+  std::vector<ValIdx> value_pool;  // per var: sorted by value
+  std::vector<VarChain> var_chains;
+  chain_pool.reserve(writes.size());
+  value_pool.reserve(writes.size());
+  std::vector<char> placed;  // chase scratch, reused across vars
 
-  // Reads-from resolution: (var, value) -> version index in chain.
-  // Unique-writes discipline makes this unambiguous; duplicates are
-  // reported as a checker-usage error.
-  std::map<core::TVarId, std::unordered_map<core::Value, std::size_t>> lookup;
-  for (auto& [x, chain] : chains) {
-    auto& m = lookup[x];
-    for (std::size_t vi = 0; vi < chain.size(); ++vi) {
-      auto [it, inserted] = m.emplace(chain[vi].value, vi);
-      if (!inserted) {
+  for (std::size_t wb = 0; wb < writes.size();) {
+    std::size_t we = wb;
+    const core::TVarId x = writes[wb].var;
+    bool all_rmw = true;
+    while (we < writes.size() && writes[we].var == x) {
+      all_rmw = all_rmw && writes[we].rmw;
+      ++we;
+    }
+    const std::uint32_t count = static_cast<std::uint32_t>(we - wb);
+    const std::uint32_t base = static_cast<std::uint32_t>(chain_pool.size());
+
+    const auto range_begin = writes.begin() + static_cast<std::ptrdiff_t>(wb);
+    const auto range_end = writes.begin() + static_cast<std::ptrdiff_t>(we);
+    if (all_rmw) {
+      // Per-chain sorted index over the value each writer *read*: the
+      // chase is then a binary search per placement instead of a hash
+      // lookup, and a fork shows up as two adjacent equal read-values.
+      std::sort(range_begin, range_end,
+                [](const WriteRef& a, const WriteRef& b) {
+                  return a.rval != b.rval ? a.rval < b.rval
+                                          : a.node < b.node;
+                });
+      placed.assign(count, 0);
+      core::Value cur = options.initial_value;
+      std::uint32_t placed_count = 0;
+      while (placed_count < count) {
+        const auto lo = std::lower_bound(
+            range_begin, range_end, cur,
+            [](const WriteRef& w, core::Value v) { return w.rval < v; });
+        const bool found = lo != range_end && lo->rval == cur &&
+                           !placed[static_cast<std::size_t>(lo - range_begin)];
+        if (!found) {
+          std::vector<WitnessEdge> w;
+          for (auto it = range_begin; it != range_end && w.size() < 4; ++it) {
+            if (!placed[static_cast<std::size_t>(it - range_begin)]) {
+              w.push_back({Kind::kLocal, nodes[it->node].id,
+                           nodes[it->node].id, x});
+            }
+          }
+          return CheckResult::failure(
+              "version chain gap on " + var_name(x) + ": " +
+                  std::to_string(count - placed_count) +
+                  " committed writer(s) read a superseded value",
+              std::move(w));
+        }
+        const auto nxt = lo + 1;
+        if (nxt != range_end && nxt->rval == cur) {
+          return CheckResult::failure(
+              "version chain fork on " + var_name(x) +
+                  ": two committed writers read the same version",
+              {{Kind::kLocal, nodes[lo->node].id, nodes[nxt->node].id, x}});
+        }
+        placed[static_cast<std::size_t>(lo - range_begin)] = 1;
+        chain_pool.push_back(Version{lo->wval, lo->node});
+        cur = lo->wval;
+        ++placed_count;
+      }
+    } else {
+      std::sort(range_begin, range_end,
+                [&](const WriteRef& a, const WriteRef& b) {
+                  const std::uint64_t la = nodes[a.node].last_seq;
+                  const std::uint64_t lb = nodes[b.node].last_seq;
+                  return la != lb ? la < lb : a.node < b.node;
+                });
+      for (auto it = range_begin; it != range_end; ++it) {
+        chain_pool.push_back(Version{it->wval, it->node});
+      }
+    }
+
+    // Reads-from resolution index: (value -> version position), sorted by
+    // value for binary search. Unique-writes discipline makes the mapping
+    // unambiguous; duplicates are reported as a checker-usage error.
+    for (std::uint32_t vi = 0; vi < count; ++vi) {
+      value_pool.push_back(ValIdx{chain_pool[base + vi].value, vi});
+    }
+    const auto vals_begin =
+        value_pool.begin() + static_cast<std::ptrdiff_t>(base);
+    std::sort(vals_begin, value_pool.end(),
+              [](const ValIdx& a, const ValIdx& b) {
+                return a.value != b.value ? a.value < b.value
+                                          : a.version < b.version;
+              });
+    for (auto it = vals_begin; it + 1 != value_pool.end(); ++it) {
+      if (it->value == (it + 1)->value) {
         return CheckResult::failure(
-            "unique-writes discipline violated on x" + std::to_string(x) +
-            " (two committed writers wrote the same value)");
+            "unique-writes discipline violated on " + var_name(x) +
+                " (two committed writers wrote the same value)",
+            {{Kind::kLocal, nodes[chain_pool[base + it->version].writer].id,
+              nodes[chain_pool[base + (it + 1)->version].writer].id, x}});
       }
+    }
+
+    // Version-order edges along the chain.
+    for (std::uint32_t vi = 0; vi + 1 < count; ++vi) {
+      add_edge(chain_pool[base + vi].writer, chain_pool[base + vi + 1].writer,
+               x, Kind::kVersionOrder);
+    }
+
+    var_chains.push_back(VarChain{x, base, count});
+    wb = we;
+  }
+
+  // ---- Reads-from and anti-dependency edges ------------------------------
+  {
+    std::size_t ci = 0;  // cursor into var_chains (both sorted by var)
+    for (std::size_t rb = 0; rb < reads.size();) {
+      const core::TVarId x = reads[rb].var;
+      std::size_t re = rb;
+      while (re < reads.size() && reads[re].var == x) ++re;
+      while (ci < var_chains.size() && var_chains[ci].var < x) ++ci;
+      const VarChain* chain =
+          ci < var_chains.size() && var_chains[ci].var == x ? &var_chains[ci]
+                                                            : nullptr;
+      for (std::size_t r = rb; r < re; ++r) {
+        const ReadRef& rd = reads[r];
+        std::uint32_t version = kNone;  // kNone == the initial version
+        if (rd.val != options.initial_value) {
+          if (chain == nullptr) {
+            return CheckResult::failure(
+                tx_name(nodes[rd.node].id) + " read a value of " +
+                    var_name(x) + " that no committed transaction wrote",
+                {{Kind::kLocal, nodes[rd.node].id, nodes[rd.node].id, x}});
+          }
+          const auto vals_begin =
+              value_pool.begin() + static_cast<std::ptrdiff_t>(chain->begin);
+          const auto vals_end =
+              vals_begin + static_cast<std::ptrdiff_t>(chain->count);
+          const auto it = std::lower_bound(
+              vals_begin, vals_end, rd.val,
+              [](const ValIdx& a, core::Value v) { return a.value < v; });
+          if (it == vals_end || it->value != rd.val) {
+            return CheckResult::failure(
+                tx_name(nodes[rd.node].id) + " read value " +
+                    std::to_string(rd.val) + " of " + var_name(x) +
+                    " that no committed transaction wrote (dirty or lost "
+                    "read)",
+                {{Kind::kLocal, nodes[rd.node].id, nodes[rd.node].id, x}});
+          }
+          version = it->version;
+          add_edge(chain_pool[chain->begin + version].writer, rd.node, x,
+                   Kind::kReadsFrom);
+        } else {
+          add_edge(0, rd.node, x, Kind::kReadsFrom);  // rf from T0
+        }
+        // Anti-dependency: the reader precedes the next version's writer.
+        if (chain != nullptr) {
+          const std::uint32_t next = version + 1;  // works for kNone too (0)
+          if (next < chain->count) {
+            add_edge(rd.node, chain_pool[chain->begin + next].writer, x,
+                     Kind::kAntiDependency);
+          }
+        }
+      }
+      rb = re;
     }
   }
 
-  // Build edges: version order, reads-from, anti-dependency.
-  std::vector<std::vector<std::size_t>> adj(n);
-  std::vector<std::size_t> indeg(n, 0);
-  auto add_edge = [&](std::size_t a, std::size_t b) {
-    if (a == b) return;
-    adj[a].push_back(b);
-    ++indeg[b];
+  // ---- CSR adjacency -----------------------------------------------------
+  std::vector<std::uint32_t> offs(n + 1, 0);
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (const Edge& e : edges) {
+    ++offs[e.from + 1];
+    ++indeg[e.to];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offs[i] += offs[i - 1];
+  std::vector<std::uint32_t> eidx(edges.size());
+  {
+    std::vector<std::uint32_t> cursor(offs.begin(), offs.end() - 1);
+    for (std::uint32_t i = 0; i < edges.size(); ++i) {
+      eidx[cursor[edges[i].from]++] = i;
+    }
+  }
+
+  // ---- Acyclicity via Kahn's algorithm -----------------------------------
+  //
+  // Real-time edges are handled implicitly: a node is ready only when every
+  // transaction that real-time-precedes it has been emitted, avoiding the
+  // O(n^2) rt edge set. The set of unfinished completion times is a doubly
+  // linked list threaded through completion-time order, so "minimum
+  // unfinished last_seq, excluding me" is O(1) and removal on emission is
+  // O(1).
+  std::vector<std::uint32_t> rt_order;      // nodes 1..n-1 by last_seq
+  std::vector<std::uint32_t> rt_next, rt_prev, rt_pos;  // list plumbing
+  std::uint32_t rt_head = kNone;
+  if (options.respect_real_time && n > 1) {
+    rt_order.resize(n - 1);
+    for (std::uint32_t i = 1; i < n; ++i) rt_order[i - 1] = i;
+    std::sort(rt_order.begin(), rt_order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return nodes[a].last_seq != nodes[b].last_seq
+                           ? nodes[a].last_seq < nodes[b].last_seq
+                           : a < b;
+              });
+    const std::uint32_t m = static_cast<std::uint32_t>(rt_order.size());
+    rt_next.resize(m);
+    rt_prev.resize(m);
+    rt_pos.assign(n, kNone);
+    for (std::uint32_t p = 0; p < m; ++p) {
+      rt_next[p] = p + 1 < m ? p + 1 : kNone;
+      rt_prev[p] = p > 0 ? p - 1 : kNone;
+      rt_pos[rt_order[p]] = p;
+    }
+    rt_head = 0;
+  }
+  auto rt_remove = [&](std::uint32_t i) {
+    const std::uint32_t p = rt_pos[i];
+    if (p == kNone) return;
+    if (rt_prev[p] != kNone) rt_next[rt_prev[p]] = rt_next[p];
+    if (rt_next[p] != kNone) rt_prev[rt_next[p]] = rt_prev[p];
+    if (rt_head == p) rt_head = rt_next[p];
+    rt_pos[i] = kNone;
   };
-
-  for (const auto& [x, chain] : chains) {
-    for (std::size_t vi = 0; vi + 1 < chain.size(); ++vi) {
-      add_edge(chain[vi].writer, chain[vi + 1].writer);
-    }
-  }
-
-  for (std::size_t i = 1; i < n; ++i) {
-    for (const auto& [x, v] : nodes[i].digest.external_reads) {
-      const auto chain_it = chains.find(x);
-      std::size_t version = static_cast<std::size_t>(-1);  // -1 == initial
-      if (v != options.initial_value) {
-        if (chain_it == chains.end()) {
-          return CheckResult::failure(
-              tx_name(nodes[i].id) + " read a value of x" + std::to_string(x) +
-              " that no committed transaction wrote");
-        }
-        const auto& m = lookup[x];
-        auto it = m.find(v);
-        if (it == m.end()) {
-          return CheckResult::failure(
-              tx_name(nodes[i].id) + " read value " + std::to_string(v) +
-              " of x" + std::to_string(x) +
-              " that no committed transaction wrote (dirty or lost read)");
-        }
-        version = it->second;
-        add_edge(chain_it->second[version].writer, i);  // rf
-      } else {
-        add_edge(0, i);  // rf from T0
-      }
-      // Anti-dependency: the reader precedes the next version's writer.
-      if (chain_it != chains.end()) {
-        const std::size_t next = version + 1;  // works for -1 too (0)
-        if (next < chain_it->second.size()) {
-          add_edge(i, chain_it->second[next].writer);
-        }
-      }
-    }
-  }
-
-  // Acyclicity via Kahn's algorithm; real-time edges are handled implicitly
-  // (a node is ready only when every transaction that real-time-precedes it
-  // has been emitted), avoiding the O(n^2) rt edge set. Queue-based:
-  // O((V + E) log V).
-  std::multiset<std::uint64_t> unfinished_last;
-  if (options.respect_real_time) {
-    for (std::size_t i = 1; i < n; ++i) {
-      unfinished_last.insert(nodes[i].last_seq);
-    }
-  }
-
   // Ready iff no *other* unfinished transaction completed before this one
   // started (completion seqs are unique, so a matching minimum is ours).
-  auto rt_ready = [&](std::size_t i) {
+  auto rt_ready = [&](std::uint32_t i) {
     if (!options.respect_real_time || i == 0) return true;
-    auto it = unfinished_last.begin();
-    if (it == unfinished_last.end()) return true;
-    std::uint64_t min_last = *it;
-    if (min_last == nodes[i].last_seq) {
-      auto second = std::next(it);
-      min_last =
-          (second == unfinished_last.end()) ? ~std::uint64_t{0} : *second;
+    if (rt_head == kNone) return true;
+    std::uint64_t min_last = nodes[rt_order[rt_head]].last_seq;
+    if (rt_order[rt_head] == i) {
+      const std::uint32_t second = rt_next[rt_head];
+      min_last = second == kNone ? ~std::uint64_t{0}
+                                 : nodes[rt_order[second]].last_seq;
     }
     return min_last >= nodes[i].first_seq;
   };
 
-  std::vector<std::size_t> ready;
-  // indeg-0 nodes waiting only on real time, ordered by start time: once
-  // the oldest is unblocked, pop while ready (see rt_ready monotonicity).
-  std::multimap<std::uint64_t, std::size_t> rt_blocked;
-  auto enqueue = [&](std::size_t i) {
+  std::vector<std::uint32_t> ready;
+  // indeg-0 nodes waiting only on real time, keyed by start time: once the
+  // oldest is unblocked, pop while ready (see rt_ready monotonicity).
+  using HeapEntry = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      rt_blocked;
+  auto enqueue = [&](std::uint32_t i) {
     if (rt_ready(i)) {
       ready.push_back(i);
     } else {
@@ -269,46 +532,207 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     }
   };
 
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::uint32_t i = 0; i < n; ++i) {
     if (indeg[i] == 0) enqueue(i);
   }
 
   std::vector<char> emitted(n, 0);
   std::size_t emitted_count = 0;
   while (!ready.empty()) {
-    const std::size_t i = ready.back();
+    const std::uint32_t i = ready.back();
     ready.pop_back();
     emitted[i] = 1;
     ++emitted_count;
-    if (options.respect_real_time && i != 0) {
-      unfinished_last.erase(unfinished_last.find(nodes[i].last_seq));
-    }
-    for (std::size_t t : adj[i]) {
+    if (options.respect_real_time && i != 0) rt_remove(i);
+    for (std::uint32_t p = offs[i]; p < offs[i + 1]; ++p) {
+      const std::uint32_t t = edges[eidx[p]].to;
       if (--indeg[t] == 0) enqueue(t);
     }
     // The emission may have raised the minimum unfinished completion time:
     // release rt-blocked nodes in start-time order.
-    while (!rt_blocked.empty() && rt_ready(rt_blocked.begin()->second)) {
-      ready.push_back(rt_blocked.begin()->second);
-      rt_blocked.erase(rt_blocked.begin());
+    while (!rt_blocked.empty() && rt_ready(rt_blocked.top().second)) {
+      ready.push_back(rt_blocked.top().second);
+      rt_blocked.pop();
     }
   }
 
-  if (emitted_count != n) {
-    std::string stuck;
-    int shown = 0;
-    for (std::size_t i = 0; i < n && shown < 6; ++i) {
-      if (!emitted[i]) {
-        stuck += " " + tx_name(nodes[i].id);
-        ++shown;
+  if (emitted_count == n) return CheckResult{};
+
+  // ---- Failure: extract a concrete cycle witness -------------------------
+  std::string stuck;
+  int shown = 0;
+  for (std::size_t i = 0; i < n && shown < 6; ++i) {
+    if (!emitted[i]) {
+      stuck += " " + tx_name(nodes[i].id);
+      ++shown;
+    }
+  }
+
+  auto make_witness = [&](std::uint32_t e) {
+    const Edge& edge = edges[e];
+    return WitnessEdge{edge.kind, nodes[edge.from].id, nodes[edge.to].id,
+                       edge.var};
+  };
+
+  // First try: a cycle over explicit edges among the unemitted residue
+  // (every residual node keeps an incoming residual edge, so if the cycle
+  // does not need real-time edges this DFS finds it).
+  std::vector<WitnessEdge> cycle;
+  {
+    struct Frame {
+      std::uint32_t node;
+      std::uint32_t it;       // cursor into eidx
+      std::uint32_t in_edge;  // edge used to reach node (kNone for roots)
+    };
+    std::vector<std::uint8_t> color(n, 0);
+    std::vector<Frame> stack;
+    for (std::uint32_t s = 0; s < n && cycle.empty(); ++s) {
+      if (emitted[s] || color[s] != 0) continue;
+      stack.clear();
+      stack.push_back(Frame{s, offs[s], kNone});
+      color[s] = 1;
+      while (!stack.empty() && cycle.empty()) {
+        Frame& f = stack.back();
+        if (f.it == offs[f.node + 1]) {
+          color[f.node] = 2;
+          stack.pop_back();
+          continue;
+        }
+        const std::uint32_t e = eidx[f.it++];
+        const std::uint32_t t = edges[e].to;
+        if (emitted[t] || color[t] == 2) continue;
+        if (color[t] == 1) {  // back edge: unwind the stack into a cycle
+          std::size_t k = stack.size();
+          while (k > 0 && stack[k - 1].node != t) --k;
+          for (std::size_t j = k; j < stack.size(); ++j) {
+            cycle.push_back(make_witness(stack[j].in_edge));
+          }
+          cycle.push_back(make_witness(e));
+          break;
+        }
+        color[t] = 1;
+        stack.push_back(Frame{t, offs[t], e});
       }
     }
-    return CheckResult::failure(
-        std::string("serialization graph has a cycle") +
-        (options.respect_real_time ? " (with real-time edges)" : "") +
-        "; stuck transactions:" + stuck);
   }
-  return CheckResult{};
+
+  // Second try: the cycle needs real-time edges. Materializing all rt
+  // edges among s stuck nodes is O(s^2); instead encode rt reachability
+  // with a start-time chain — stuck nodes sorted by first_seq, chain node
+  // k reaching stuck node k and chain node k+1 — so "u rt-precedes every
+  // node starting after u finished" is one edge into the chain.
+  if (cycle.empty() && options.respect_real_time) {
+    std::vector<std::uint32_t> stuck_nodes;
+    for (std::uint32_t i = 1; i < n; ++i) {
+      if (!emitted[i]) stuck_nodes.push_back(i);
+    }
+    std::sort(stuck_nodes.begin(), stuck_nodes.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return nodes[a].first_seq != nodes[b].first_seq
+                           ? nodes[a].first_seq < nodes[b].first_seq
+                           : a < b;
+              });
+    const std::uint32_t m = static_cast<std::uint32_t>(stuck_nodes.size());
+    std::vector<std::uint32_t> aux_of(n, kNone);  // node -> aux id
+    for (std::uint32_t k = 0; k < m; ++k) aux_of[stuck_nodes[k]] = k;
+    // Aux ids: [0, m) real stuck nodes, [m, 2m) chain nodes. Aux edge tag:
+    // explicit edge index, kRtTag (real -> chain), or kChainTag (virtual).
+    constexpr std::uint64_t kRtTag = ~std::uint64_t{0};
+    constexpr std::uint64_t kChainTag = kRtTag - 1;
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> aux(
+        2 * static_cast<std::size_t>(m));
+    for (std::uint32_t k = 0; k < m; ++k) {
+      const std::uint32_t u = stuck_nodes[k];
+      for (std::uint32_t p = offs[u]; p < offs[u + 1]; ++p) {
+        const std::uint32_t t = edges[eidx[p]].to;
+        if (aux_of[t] != kNone) {
+          aux[k].push_back({aux_of[t], eidx[p]});
+        }
+      }
+      // rt: u precedes every stuck node whose first_seq > u's last_seq.
+      const auto it = std::upper_bound(
+          stuck_nodes.begin(), stuck_nodes.end(), nodes[u].last_seq,
+          [&](std::uint64_t v, std::uint32_t s) {
+            return v < nodes[s].first_seq;
+          });
+      if (it != stuck_nodes.end()) {
+        aux[k].push_back(
+            {m + static_cast<std::uint32_t>(it - stuck_nodes.begin()),
+             kRtTag});
+      }
+      aux[m + k].push_back({k, kChainTag});
+      if (k + 1 < m) aux[m + k].push_back({m + k + 1, kChainTag});
+    }
+    // DFS over the aux graph; collapse chain traversals into one rt edge.
+    struct AuxFrame {
+      std::uint32_t node;
+      std::size_t it;
+      std::uint64_t in_tag;
+    };
+    std::vector<std::uint8_t> color(2 * static_cast<std::size_t>(m), 0);
+    std::vector<AuxFrame> stack;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> raw;  // (aux, tag)
+    for (std::uint32_t s = 0; s < m && raw.empty(); ++s) {
+      if (color[s] != 0) continue;
+      stack.clear();
+      stack.push_back(AuxFrame{s, 0, kChainTag});
+      color[s] = 1;
+      while (!stack.empty() && raw.empty()) {
+        AuxFrame& f = stack.back();
+        if (f.it == aux[f.node].size()) {
+          color[f.node] = 2;
+          stack.pop_back();
+          continue;
+        }
+        const auto [t, tag] = aux[f.node][f.it++];
+        if (color[t] == 2) continue;
+        if (color[t] == 1) {
+          std::size_t k = stack.size();
+          while (k > 0 && stack[k - 1].node != t) --k;
+          for (std::size_t j = k; j < stack.size(); ++j) {
+            raw.push_back({stack[j].node, stack[j].in_tag});
+          }
+          raw.push_back({t, tag});
+          // Rotate so the sequence starts at a real node (one must exist:
+          // a pure chain-node cycle is impossible, the chain is acyclic).
+          while (!raw.empty() && raw.front().first >= m) {
+            raw.push_back(raw.front());
+            raw.erase(raw.begin());
+          }
+          break;
+        }
+        color[t] = 1;
+        stack.push_back(AuxFrame{t, 0, tag});
+      }
+    }
+    // raw[j] = (aux node, tag of the edge *into* it, i.e. from raw[j-1]).
+    if (!raw.empty()) {
+      std::uint32_t rt_source = kNone;
+      for (std::size_t j = 0; j < raw.size(); ++j) {
+        const auto [a, tag_in] = raw[(j + 1) % raw.size()];
+        const std::uint32_t prev_aux = raw[j].first;
+        if (tag_in == kRtTag) {
+          rt_source = stuck_nodes[prev_aux];  // real -> chain
+        } else if (tag_in == kChainTag) {
+          if (a < m && rt_source != kNone) {  // chain -> real: rt lands
+            cycle.push_back(WitnessEdge{Kind::kRealTime,
+                                        nodes[rt_source].id,
+                                        nodes[stuck_nodes[a]].id,
+                                        core::kInvalidTVar});
+            rt_source = kNone;
+          }
+        } else {
+          cycle.push_back(make_witness(static_cast<std::uint32_t>(tag_in)));
+        }
+      }
+    }
+  }
+
+  return CheckResult::failure(
+      std::string("serialization graph has a cycle") +
+          (options.respect_real_time ? " (with real-time edges)" : "") +
+          "; stuck transactions:" + stuck,
+      std::move(cycle));
 }
 
 // ---------------------------------------------------------------------------
@@ -339,11 +763,11 @@ bool search(SearchCtx& ctx, std::vector<char>& used,
     }
     // Legality: external reads must match the current state.
     bool legal = true;
-    for (const auto& [x, v] : d.external_reads) {
-      auto it = state.find(x);
+    for (const VarVal& r : d.external_reads) {
+      auto it = state.find(r.var);
       const core::Value cur =
           it == state.end() ? ctx.options->initial_value : it->second;
-      if (cur != v) {
+      if (cur != r.val) {
         legal = false;
         break;
       }
@@ -352,14 +776,14 @@ bool search(SearchCtx& ctx, std::vector<char>& used,
 
     // Apply writes, remembering displaced values.
     std::vector<std::pair<core::TVarId, std::pair<bool, core::Value>>> undo;
-    for (const auto& [x, v] : d.final_writes) {
-      auto it = state.find(x);
+    for (const VarVal& w : d.final_writes) {
+      auto it = state.find(w.var);
       if (it == state.end()) {
-        undo.push_back({x, {false, 0}});
-        state[x] = v;
+        undo.push_back({w.var, {false, 0}});
+        state[w.var] = w.val;
       } else {
-        undo.push_back({x, {true, it->second}});
-        it->second = v;
+        undo.push_back({w.var, {true, it->second}});
+        it->second = w.val;
       }
     }
     used[i] = 1;
@@ -403,9 +827,10 @@ CheckResult check_exhaustive_serializability(
     ctx.options = &options;
     bool digest_ok = true;
     std::string err;
+    core::TVarId bad_var = core::kInvalidTVar;
     auto add = [&](const TxRecord* rec) {
       Digest d;
-      if (!digest_tx(*rec, d, err)) {
+      if (!digest_tx(*rec, d, err, &bad_var)) {
         digest_ok = false;
         return;
       }

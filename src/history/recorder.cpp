@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
+#include <unordered_map>
 
 #include "runtime/thread_registry.hpp"
 
@@ -16,18 +17,40 @@ std::uint64_t Recorder::record(Event e) {
   return e.seq;
 }
 
+void Recorder::reserve(std::size_t events) {
+  std::scoped_lock lk(mu_);
+  events_.reserve(events);
+}
+
+std::size_t Recorder::size() const {
+  std::scoped_lock lk(mu_);
+  return events_.size();
+}
+
 std::vector<Event> Recorder::events() const {
   std::scoped_lock lk(mu_);
   std::vector<Event> out = events_;
-  std::sort(out.begin(), out.end(),
-            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  // record() assigns strictly increasing seqs under the lock, so the log is
+  // already sorted; the sort below only ever pays on an already-sorted
+  // input (is_sorted guard keeps the large-history path O(n)).
+  if (!std::is_sorted(out.begin(), out.end(), [](const Event& a,
+                                                 const Event& b) {
+        return a.seq < b.seq;
+      })) {
+    std::sort(out.begin(), out.end(),
+              [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  }
   return out;
 }
 
 std::vector<TxRecord> Recorder::transactions() const {
-  const std::vector<Event> evs = events();
-  std::map<core::TxId, TxRecord> by_tx;
-  std::map<core::TxId, Event> open_inv;  // pending invocation per tx
+  return transactions(events());
+}
+
+std::vector<TxRecord> Recorder::transactions(const std::vector<Event>& evs) {
+  std::unordered_map<core::TxId, TxRecord> by_tx;
+  std::unordered_map<core::TxId, Event> open_inv;  // pending invocation per tx
+  by_tx.reserve(evs.size() / 8 + 16);
 
   for (const Event& e : evs) {
     TxRecord& rec = by_tx[e.tx];
@@ -82,7 +105,10 @@ void Recorder::clear() {
 }
 
 std::string Recorder::check_well_formed() const {
-  const std::vector<Event> evs = events();
+  return check_well_formed(events());
+}
+
+std::string Recorder::check_well_formed(const std::vector<Event>& evs) {
   // Per process: events strictly alternate invoke/response and responses
   // match the preceding invocation's (tx, op).
   std::map<int, const Event*> pending;

@@ -22,11 +22,24 @@ class Recorder {
   // Thread-safe event append with a fresh global sequence number.
   std::uint64_t record(Event e);
 
+  // Pre-size the event log. Large-history (checked-stress) runs reserve
+  // up-front — workload::estimated_history_events gives the bound — so
+  // recording overhead stays flat instead of paying vector regrowth (and
+  // the attendant copy stalls under the recorder lock) mid-run.
+  void reserve(std::size_t events);
+
+  // Number of events recorded so far.
+  std::size_t size() const;
+
   // Snapshot of all events, sorted by seq.
   std::vector<Event> events() const;
 
   // Digest events into per-transaction records (sorted by first_seq).
+  // The static overload digests an existing snapshot — large-history
+  // callers take one events() snapshot and feed it to both this and
+  // check_well_formed instead of paying the full-log copy twice.
   std::vector<TxRecord> transactions() const;
+  static std::vector<TxRecord> transactions(const std::vector<Event>& events);
 
   void clear();
 
@@ -34,6 +47,7 @@ class Recorder {
   // alternating invocation/response of matching operations. Returns an
   // empty string if well-formed, else a diagnostic.
   std::string check_well_formed() const;
+  static std::string check_well_formed(const std::vector<Event>& events);
 
   std::string format() const;
 

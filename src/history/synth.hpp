@@ -1,0 +1,231 @@
+// Synthetic history generation: deterministic, serializable-by-construction
+// committed histories at any scale, for calibrating and benchmarking the
+// checkers themselves (tests/checker_adversarial_test.cpp seeds known
+// violations into them; bench/bench_checker.cpp sweeps size and hot-key
+// skew). Unlike recording a real backend, generation is O(history) with no
+// threads, so a 100k-transaction single-hot-key history materializes in
+// milliseconds and every run is bit-identical per seed.
+//
+// Shape: one sequential timeline. Transaction k runs entirely inside its
+// own seq range; every op first reads its t-var and, when the op is a
+// write, immediately overwrites it with a globally unique value (the
+// read-modify-write discipline check_mvsg's exact chain construction
+// relies on). The result passes the strict opacity check by construction —
+// a failed verdict on an un-mutated synthetic history is a checker bug.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "history/event.hpp"
+#include "runtime/xorshift.hpp"
+
+namespace oftm::history::synth {
+
+struct SynthOptions {
+  std::size_t transactions = 1000;
+  std::size_t num_tvars = 64;
+  // Probability an op is redirected to t-var 0 (the hot key): 0.0 keeps the
+  // uniform base distribution, 1.0 makes the whole history a single-key
+  // chain — the checker's version-index worst case.
+  double hot_fraction = 0.0;
+  int ops_per_tx = 4;
+  double write_fraction = 0.5;  // probability an op is a read-modify-write
+  std::uint64_t seed = 1;
+};
+
+inline std::vector<TxRecord> make_history(const SynthOptions& options) {
+  runtime::Xoshiro256 rng(runtime::mix64(options.seed ^ 0x5EEDC0DE));
+  std::vector<core::Value> current(options.num_tvars, 0);
+  std::vector<TxRecord> txns;
+  txns.reserve(options.transactions);
+  std::uint64_t seq = 0;
+  core::Value next_value = 0;  // unique-writes discipline: values 1, 2, ...
+
+  for (std::size_t k = 0; k < options.transactions; ++k) {
+    TxRecord rec;
+    rec.id = static_cast<core::TxId>(k + 1);
+    rec.pid = static_cast<int>(k % 8);
+    rec.first_seq = ++seq;
+    for (int o = 0; o < options.ops_per_tx; ++o) {
+      const std::size_t x =
+          rng.next_bool(options.hot_fraction)
+              ? 0
+              : static_cast<std::size_t>(rng.next_range(options.num_tvars));
+      TxOp read;
+      read.op = OpType::kRead;
+      read.tvar = static_cast<core::TVarId>(x);
+      read.result = current[x];
+      read.inv_seq = ++seq;
+      read.resp_seq = ++seq;
+      rec.ops.push_back(read);
+      if (rng.next_bool(options.write_fraction)) {
+        TxOp write;
+        write.op = OpType::kWrite;
+        write.tvar = static_cast<core::TVarId>(x);
+        write.arg = ++next_value;
+        write.inv_seq = ++seq;
+        write.resp_seq = ++seq;
+        rec.ops.push_back(write);
+        current[x] = write.arg;  // serial: the commit is immediate
+      }
+    }
+    rec.final_status = core::TxStatus::kCommitted;
+    rec.last_seq = ++seq;
+    txns.push_back(std::move(rec));
+  }
+  return txns;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation builders: seed a specific violation class into a history. Shared
+// by the adversarial and old-vs-new-equivalence suites so the two stay in
+// lockstep on what "a dirty read" or "a real-time inversion" means.
+
+// Overwrite every *external* read of `var` in `rec` (reads after an own
+// write of the var are internal and left alone, so the transaction stays
+// locally consistent and the checker's dirty-read path — not its digest
+// consistency path — is what fires).
+inline void poison_external_reads(TxRecord& rec, core::TVarId var,
+                                  core::Value poison) {
+  bool wrote = false;
+  for (TxOp& op : rec.ops) {
+    if (op.op == OpType::kWrite && op.tvar == var) wrote = true;
+    if (op.op == OpType::kRead && op.tvar == var && !wrote) {
+      op.result = poison;
+    }
+  }
+}
+
+// Seed the classic lost update: the later of the first two committed
+// writers of `var` is rewritten to have read the same version the first
+// one read, so both applied their update on top of the same snapshot — a
+// version-chain fork. The two forked writer ids come back via
+// *first/*second. Returns false (txns untouched) with fewer than two
+// writers of `var`.
+inline bool seed_lost_update(std::vector<TxRecord>& txns, core::TVarId var,
+                             core::TxId* first, core::TxId* second) {
+  TxRecord* w1 = nullptr;
+  TxRecord* w2 = nullptr;
+  core::Value w1_read = 0;
+  for (TxRecord& rec : txns) {
+    bool wrote = false;
+    core::Value read_val = 0;
+    for (const TxOp& op : rec.ops) {
+      if (op.op == OpType::kRead && op.tvar == var && !wrote) {
+        read_val = op.result;
+      }
+      if (op.op == OpType::kWrite && op.tvar == var) wrote = true;
+    }
+    if (!wrote) continue;
+    if (w1 == nullptr) {
+      w1 = &rec;
+      w1_read = read_val;
+    } else {
+      w2 = &rec;
+      break;
+    }
+  }
+  if (w2 == nullptr) return false;
+  poison_external_reads(*w2, var, w1_read);
+  *first = w1->id;
+  *second = w2->id;
+  return true;
+}
+
+// Append a committed RMW transaction `id` on `var` that reads the current
+// final value but re-writes the value of `var`'s *first* chain version — a
+// unique-writes breach naming two writers of one value. The original
+// writer of the duplicated value comes back via *original. Returns false
+// (txns untouched) when `var` has no committed writer. Only a
+// transaction's final write per var becomes a chain version, so
+// intra-transaction overwrites are skipped when picking the duplicate.
+inline bool append_duplicate_writer(std::vector<TxRecord>& txns,
+                                    core::TVarId var, core::TxId id,
+                                    core::TxId* original) {
+  core::Value dup_value = 0;
+  core::TxId dup_writer = 0;
+  core::Value current = 0;
+  std::uint64_t max_seq = 0;
+  for (const TxRecord& rec : txns) {
+    if (rec.last_seq > max_seq) max_seq = rec.last_seq;
+    core::Value final_write = 0;
+    for (const TxOp& op : rec.ops) {
+      if (op.op == OpType::kWrite && op.tvar == var) final_write = op.arg;
+    }
+    if (final_write == 0) continue;
+    if (dup_value == 0) {
+      dup_value = final_write;
+      dup_writer = rec.id;
+    }
+    current = final_write;
+  }
+  if (dup_value == 0) return false;
+
+  TxRecord extra;
+  extra.id = id;
+  extra.pid = 0;
+  extra.first_seq = max_seq + 1;
+  TxOp read;
+  read.op = OpType::kRead;
+  read.tvar = var;
+  read.result = current;
+  read.inv_seq = max_seq + 2;
+  read.resp_seq = max_seq + 3;
+  extra.ops.push_back(read);
+  TxOp write;
+  write.op = OpType::kWrite;
+  write.tvar = var;
+  write.arg = dup_value;
+  write.inv_seq = max_seq + 4;
+  write.resp_seq = max_seq + 5;
+  extra.ops.push_back(write);
+  extra.final_status = core::TxStatus::kCommitted;
+  extra.last_seq = max_seq + 6;
+  txns.push_back(std::move(extra));
+  *original = dup_writer;
+  return true;
+}
+
+// Append a committed read-only transaction `id` that starts after every
+// existing transaction completed, yet observes `var`'s *first* chain
+// version: legal under plain serializability (order it early), illegal once
+// real-time edges are respected. Only a transaction's final write per var
+// becomes a chain version, so intra-transaction overwrites are skipped.
+// Returns false (leaving txns untouched) when the var has fewer than two
+// committed versions — nothing is superseded, so there is no inversion.
+inline bool append_stale_reader(std::vector<TxRecord>& txns,
+                                core::TVarId var, core::TxId id) {
+  core::Value first_version = 0;
+  int writers = 0;
+  std::uint64_t max_seq = 0;
+  for (const TxRecord& rec : txns) {
+    if (rec.last_seq > max_seq) max_seq = rec.last_seq;
+    core::Value final_write = 0;
+    for (const TxOp& op : rec.ops) {
+      if (op.op == OpType::kWrite && op.tvar == var) final_write = op.arg;
+    }
+    if (final_write == 0) continue;
+    if (++writers == 1) first_version = final_write;
+  }
+  if (writers < 2) return false;
+
+  TxRecord stale;
+  stale.id = id;
+  stale.pid = 0;
+  stale.first_seq = max_seq + 1;
+  TxOp read;
+  read.op = OpType::kRead;
+  read.tvar = var;
+  read.result = first_version;
+  read.inv_seq = max_seq + 2;
+  read.resp_seq = max_seq + 3;
+  stale.ops.push_back(read);
+  stale.final_status = core::TxStatus::kCommitted;
+  stale.last_seq = max_seq + 4;
+  txns.push_back(std::move(stale));
+  return true;
+}
+
+}  // namespace oftm::history::synth

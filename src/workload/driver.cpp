@@ -57,6 +57,18 @@ void pregenerate_specs(WorkerArena& arena, const WorkloadConfig& config,
 
 }  // namespace detail
 
+std::size_t estimated_history_events(const WorkloadConfig& config,
+                                     double abort_slack) {
+  const std::size_t per_attempt =
+      4 * static_cast<std::size_t>(config.ops_per_tx) + 2;
+  const double attempts =
+      static_cast<double>(config.threads) *
+      static_cast<double>(config.tx_per_thread) * (1.0 + abort_slack);
+  return static_cast<std::size_t>(attempts *
+                                  static_cast<double>(per_attempt)) +
+         1024;
+}
+
 PartitionBounds partition_bounds(std::size_t num_tvars, int threads,
                                  int thread) {
   OFTM_ASSERT(threads >= 1);

@@ -70,6 +70,17 @@ struct WorkloadConfig {
   bool pin_threads = true;
 };
 
+// Upper-bound estimate of the recorder events a count-mode run of `config`
+// produces: every op is at most a read+write invocation/response quartet,
+// plus the tryC pair, scaled by committed transactions and an abort-retry
+// slack. The checked-stress harness hands this to Recorder::reserve so the
+// event log never regrows mid-run (regrowth stalls every worker behind the
+// recorder lock and would bend the large-history timings). Duration-mode
+// (run_seconds > 0) runs have no a-priori bound; the estimate then covers
+// tx_per_thread as a best effort.
+std::size_t estimated_history_events(const WorkloadConfig& config,
+                                     double abort_slack = 0.5);
+
 // t-variable range [base, base + size) owned by thread t under
 // AccessPattern::kPartitioned. The remainder when n is not a multiple of
 // threads is folded into the last partition so the union always covers

@@ -1,0 +1,305 @@
+// Test-only retained reference implementation of the MVSG checker: the
+// pre-index, map-based check_mvsg exactly as it shipped before the
+// version-indexed rework (hash-map version-placement loop, per-var value
+// lookup maps, multiset-based real-time tracking). Kept verbatim so
+// tests/checker_equivalence_test.cpp can pit the production index path
+// against it on every history the conformance/stress generators produce:
+// the verdicts must agree (error strings and witnesses are allowed to
+// differ — the reference produces none).
+//
+// Do not "fix" or optimize this file; its value is being the old checker.
+#pragma once
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "history/checker.hpp"
+#include "history/event.hpp"
+
+namespace oftm::history::reference {
+namespace detail {
+
+inline std::string tx_name(core::TxId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "T%" PRIx64, id);
+  return buf;
+}
+
+// Per-transaction digest: external reads (first value observed per t-var
+// before any own write) and final writes (last written value per t-var).
+struct Digest {
+  const TxRecord* rec = nullptr;
+  std::map<core::TVarId, core::Value> external_reads;
+  std::map<core::TVarId, core::Value> final_writes;
+};
+
+inline bool digest_tx(const TxRecord& rec, Digest& out, std::string& err) {
+  out.rec = &rec;
+  std::map<core::TVarId, core::Value> own;  // latest own write per var
+  for (const TxOp& op : rec.ops) {
+    if (op.aborted) continue;  // the abort response carries no value
+    if (op.op == OpType::kRead) {
+      auto ow = own.find(op.tvar);
+      if (ow != own.end()) {
+        if (op.result != ow->second) {
+          err = tx_name(rec.id) + ": read of x" + std::to_string(op.tvar) +
+                " after own write returned a foreign value";
+          return false;
+        }
+        continue;  // internal read
+      }
+      auto [it, inserted] = out.external_reads.emplace(op.tvar, op.result);
+      if (!inserted && it->second != op.result) {
+        err = tx_name(rec.id) + ": two external reads of x" +
+              std::to_string(op.tvar) + " disagree";
+        return false;
+      }
+    } else if (op.op == OpType::kWrite) {
+      own[op.tvar] = op.arg;
+      out.final_writes[op.tvar] = op.arg;
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+inline CheckResult check_mvsg_reference(const std::vector<TxRecord>& txns,
+                                        const MvsgOptions& options = {}) {
+  using detail::Digest;
+  using detail::tx_name;
+
+  // Node 0 is the virtual initializing transaction T0.
+  struct Node {
+    Digest digest;
+    bool committed = false;
+    std::uint64_t first_seq = 0;
+    std::uint64_t last_seq = 0;
+    core::TxId id = 0;
+  };
+  std::vector<Node> nodes(1);
+  nodes[0].committed = true;  // T0 precedes everything
+
+  for (const TxRecord& rec : txns) {
+    const bool committed =
+        rec.committed() ||
+        (rec.commit_pending && options.commit_pending_as_committed);
+    if (!committed && !options.include_aborted_readers) continue;
+    Node n;
+    std::string err;
+    if (!detail::digest_tx(rec, n.digest, err)) {
+      return CheckResult::failure(err);
+    }
+    n.committed = committed;
+    n.first_seq = rec.first_seq;
+    n.last_seq = rec.last_seq;
+    n.id = rec.id;
+    nodes.push_back(std::move(n));
+  }
+  const std::size_t n = nodes.size();
+
+  // Version chains: per t-var, the order in which committed writers'
+  // values superseded each other (value-chase under the RMW discipline,
+  // completion-time fallback for blind writes).
+  struct Version {
+    core::Value value;
+    std::size_t writer;  // node index
+  };
+  std::map<core::TVarId, std::vector<Version>> chains;
+  {
+    std::map<core::TVarId, std::vector<std::size_t>> writers_of;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (!nodes[i].committed) continue;
+      for (const auto& [x, v] : nodes[i].digest.final_writes) {
+        writers_of[x].push_back(i);
+      }
+    }
+    for (auto& [x, writers] : writers_of) {
+      bool all_rmw = true;
+      for (std::size_t i : writers) {
+        if (nodes[i].digest.external_reads.find(x) ==
+            nodes[i].digest.external_reads.end()) {
+          all_rmw = false;
+          break;
+        }
+      }
+      auto& chain = chains[x];
+      if (all_rmw) {
+        // Chase the chain from the initial value.
+        std::unordered_map<core::Value, std::vector<std::size_t>> by_read;
+        for (std::size_t i : writers) {
+          by_read[nodes[i].digest.external_reads.at(x)].push_back(i);
+        }
+        core::Value cur = options.initial_value;
+        std::size_t placed = 0;
+        while (placed < writers.size()) {
+          auto it = by_read.find(cur);
+          if (it == by_read.end() || it->second.empty()) {
+            return CheckResult::failure(
+                "version chain gap on x" + std::to_string(x) + ": " +
+                std::to_string(writers.size() - placed) +
+                " committed writer(s) read a superseded value");
+          }
+          if (it->second.size() > 1) {
+            return CheckResult::failure(
+                "version chain fork on x" + std::to_string(x) +
+                ": two committed writers read the same version");
+          }
+          const std::size_t w = it->second.front();
+          it->second.clear();
+          chain.push_back(Version{nodes[w].digest.final_writes.at(x), w});
+          cur = chain.back().value;
+          ++placed;
+        }
+      } else {
+        std::sort(writers.begin(), writers.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return nodes[a].last_seq < nodes[b].last_seq;
+                  });
+        for (std::size_t i : writers) {
+          chain.push_back(Version{nodes[i].digest.final_writes.at(x), i});
+        }
+      }
+    }
+  }
+
+  // Reads-from resolution: (var, value) -> version index in chain.
+  std::map<core::TVarId, std::unordered_map<core::Value, std::size_t>> lookup;
+  for (auto& [x, chain] : chains) {
+    auto& m = lookup[x];
+    for (std::size_t vi = 0; vi < chain.size(); ++vi) {
+      auto [it, inserted] = m.emplace(chain[vi].value, vi);
+      if (!inserted) {
+        return CheckResult::failure(
+            "unique-writes discipline violated on x" + std::to_string(x) +
+            " (two committed writers wrote the same value)");
+      }
+    }
+  }
+
+  // Build edges: version order, reads-from, anti-dependency.
+  std::vector<std::vector<std::size_t>> adj(n);
+  std::vector<std::size_t> indeg(n, 0);
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    if (a == b) return;
+    adj[a].push_back(b);
+    ++indeg[b];
+  };
+
+  for (const auto& [x, chain] : chains) {
+    for (std::size_t vi = 0; vi + 1 < chain.size(); ++vi) {
+      add_edge(chain[vi].writer, chain[vi + 1].writer);
+    }
+  }
+
+  for (std::size_t i = 1; i < n; ++i) {
+    for (const auto& [x, v] : nodes[i].digest.external_reads) {
+      const auto chain_it = chains.find(x);
+      std::size_t version = static_cast<std::size_t>(-1);  // -1 == initial
+      if (v != options.initial_value) {
+        if (chain_it == chains.end()) {
+          return CheckResult::failure(
+              tx_name(nodes[i].id) + " read a value of x" + std::to_string(x) +
+              " that no committed transaction wrote");
+        }
+        const auto& m = lookup[x];
+        auto it = m.find(v);
+        if (it == m.end()) {
+          return CheckResult::failure(
+              tx_name(nodes[i].id) + " read value " + std::to_string(v) +
+              " of x" + std::to_string(x) +
+              " that no committed transaction wrote (dirty or lost read)");
+        }
+        version = it->second;
+        add_edge(chain_it->second[version].writer, i);  // rf
+      } else {
+        add_edge(0, i);  // rf from T0
+      }
+      // Anti-dependency: the reader precedes the next version's writer.
+      if (chain_it != chains.end()) {
+        const std::size_t next = version + 1;  // works for -1 too (0)
+        if (next < chain_it->second.size()) {
+          add_edge(i, chain_it->second[next].writer);
+        }
+      }
+    }
+  }
+
+  // Acyclicity via Kahn's algorithm; real-time edges handled implicitly.
+  std::multiset<std::uint64_t> unfinished_last;
+  if (options.respect_real_time) {
+    for (std::size_t i = 1; i < n; ++i) {
+      unfinished_last.insert(nodes[i].last_seq);
+    }
+  }
+
+  auto rt_ready = [&](std::size_t i) {
+    if (!options.respect_real_time || i == 0) return true;
+    auto it = unfinished_last.begin();
+    if (it == unfinished_last.end()) return true;
+    std::uint64_t min_last = *it;
+    if (min_last == nodes[i].last_seq) {
+      auto second = std::next(it);
+      min_last =
+          (second == unfinished_last.end()) ? ~std::uint64_t{0} : *second;
+    }
+    return min_last >= nodes[i].first_seq;
+  };
+
+  std::vector<std::size_t> ready;
+  std::multimap<std::uint64_t, std::size_t> rt_blocked;
+  auto enqueue = [&](std::size_t i) {
+    if (rt_ready(i)) {
+      ready.push_back(i);
+    } else {
+      rt_blocked.emplace(nodes[i].first_seq, i);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) enqueue(i);
+  }
+
+  std::vector<char> emitted(n, 0);
+  std::size_t emitted_count = 0;
+  while (!ready.empty()) {
+    const std::size_t i = ready.back();
+    ready.pop_back();
+    emitted[i] = 1;
+    ++emitted_count;
+    if (options.respect_real_time && i != 0) {
+      unfinished_last.erase(unfinished_last.find(nodes[i].last_seq));
+    }
+    for (std::size_t t : adj[i]) {
+      if (--indeg[t] == 0) enqueue(t);
+    }
+    while (!rt_blocked.empty() && rt_ready(rt_blocked.begin()->second)) {
+      ready.push_back(rt_blocked.begin()->second);
+      rt_blocked.erase(rt_blocked.begin());
+    }
+  }
+
+  if (emitted_count != n) {
+    std::string stuck;
+    int shown = 0;
+    for (std::size_t i = 0; i < n && shown < 6; ++i) {
+      if (!emitted[i]) {
+        stuck += " " + tx_name(nodes[i].id);
+        ++shown;
+      }
+    }
+    return CheckResult::failure(
+        std::string("serialization graph has a cycle") +
+        (options.respect_real_time ? " (with real-time edges)" : "") +
+        "; stuck transactions:" + stuck);
+  }
+  return CheckResult{};
+}
+
+}  // namespace oftm::history::reference

@@ -97,6 +97,51 @@ TEST(ConflictAnalysis, SharedTVarConflictsAreBenign) {
   EXPECT_EQ(report.benign_conflicts, 1u);
 }
 
+TEST(ConflictAnalysis, WitnessCarriesFootprintsAndStableOrdinals) {
+  // Two conflicting objects; obj_b appears first in the trace, so it gets
+  // ordinal 0 regardless of where the objects happen to live in memory —
+  // that is what keeps summarize() output diffable across runs.
+  int obj_a = 0, obj_b = 0;
+  std::vector<sim::Step> trace;
+  auto step = [&](int pid, std::uint64_t label, const void* obj) {
+    sim::Step s;
+    s.pid = pid;
+    s.label = label;
+    s.obj = obj;
+    s.kind = sim::Step::Kind::kStore;
+    trace.push_back(s);
+  };
+  step(0, 1, &obj_b);
+  step(0, 1, &obj_a);
+  step(1, 2, &obj_b);
+  step(1, 2, &obj_a);
+
+  Footprints fp;
+  fp[1] = {0, 2};
+  fp[2] = {1, 3};
+  const ConflictReport report = analyze(trace, fp);
+  ASSERT_EQ(report.pairs.size(), 2u);
+  // Sorted by first-appearance ordinal: obj_b (ord 0) before obj_a (ord 1).
+  EXPECT_EQ(report.pairs[0].object, &obj_b);
+  EXPECT_EQ(report.pairs[0].object_ord, 0u);
+  EXPECT_EQ(report.pairs[1].object, &obj_a);
+  EXPECT_EQ(report.pairs[1].object_ord, 1u);
+  // Every pair carries the full witness: both TxIds and both footprints.
+  for (const ConflictPair& p : report.pairs) {
+    EXPECT_TRUE(p.disjoint_tvars);
+    EXPECT_EQ(p.tvars_a, (std::vector<core::TVarId>{0, 2}));
+    EXPECT_EQ(p.tvars_b, (std::vector<core::TVarId>{1, 3}));
+  }
+
+  // Unnamed objects render as their stable ordinal, named ones by name;
+  // violating pairs print both footprints.
+  const std::string out = report.summarize({{&obj_a, "clock"}});
+  EXPECT_NE(out.find("T1 <-> T2 on obj#0"), std::string::npos) << out;
+  EXPECT_NE(out.find("T1 <-> T2 on clock"), std::string::npos) << out;
+  EXPECT_NE(out.find("T1 t-vars: {x0, x2}"), std::string::npos) << out;
+  EXPECT_NE(out.find("T2 t-vars: {x1, x3}"), std::string::npos) << out;
+}
+
 // --- Figure 2 ---------------------------------------------------------------
 
 // T-variables: x=0, y=1, w=2, z=3 (as in the paper).

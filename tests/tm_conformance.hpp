@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,8 +23,11 @@
 #include <vector>
 
 #include "core/tm.hpp"
+#include "history/checker.hpp"
+#include "history/recorder.hpp"
 #include "runtime/assert.hpp"
 #include "runtime/thread_registry.hpp"
+#include "workload/driver.hpp"
 #include "workload/factory.hpp"
 
 namespace oftm::conformance {
@@ -173,6 +177,51 @@ class TmConformanceTest : public ::testing::TestWithParam<std::string> {
 
   std::unique_ptr<core::TransactionalMemory> tm_;
 };
+
+// ---------------------------------------------------------------------------
+// Large-history (checked-stress) mode: record a full workload run, check
+// well-formedness and opacity, and hand back the verdict plus the checking
+// wall time. The recorder is pre-reserved from the workload configuration
+// so recording overhead stays flat at 100k+-transaction scale — regrowth
+// of the event log would serialize every worker behind the recorder lock.
+// Used by tests/checked_stress_test.cpp over every backend recipe on both
+// execution tiers; the DAP side of the tier (full conflict-graph witnesses
+// on simulated backends) lives in the same test file.
+
+struct CheckedStressOutcome {
+  workload::RunResult run;
+  std::size_t events = 0;        // recorded history length
+  std::size_t transactions = 0;  // digested TxRecords (committed + aborted)
+  std::string well_formed_error; // empty == well-formed
+  history::CheckResult check;    // opacity verdict (strict + aborted readers)
+  double check_seconds = 0;      // check_mvsg wall time alone
+};
+
+inline CheckedStressOutcome run_checked_stress(
+    core::TransactionalMemory& tm, const workload::WorkloadConfig& config) {
+  CheckedStressOutcome out;
+  history::Recorder recorder;
+  recorder.reserve(workload::estimated_history_events(config));
+  history::RecordingTm recorded(tm, recorder);
+  out.run = workload::run_workload(recorded, config);
+  // One snapshot of the (multi-million-event) log, shared by the
+  // well-formedness check and the digestion — the per-call snapshot
+  // convenience methods would copy it twice.
+  const auto events = recorder.events();
+  out.events = events.size();
+  out.well_formed_error = history::Recorder::check_well_formed(events);
+  const auto txns = history::Recorder::transactions(events);
+  out.transactions = txns.size();
+  history::MvsgOptions opts;
+  opts.respect_real_time = true;
+  opts.include_aborted_readers = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.check = history::check_mvsg(txns, opts);
+  out.check_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  return out;
+}
 
 // Instantiates `fixture` (TmConformanceTest or a subclass registered with
 // TEST_P) over every factory backend, through both execution tiers.
