@@ -20,9 +20,21 @@ const std::vector<std::string>& backends() {
   static const std::vector<std::string> names = {
       "dstm",    "dstm-collapse", "dstm-visible", "tl",
       "tl2",     "tl2-ext",       "coarse",       "foctm-hinted",
-      "norec",   "norec-bloom"};
+      "norec",   "norec-bloom",   "tl2-region",   "norec-region"};
   return names;
 }
+
+// The word-granular region backends, alone: the scale sweep below runs
+// them over a working set (16M+ words, a 128 MiB heap) that the boxed
+// backends' per-TVar metadata cannot reach — per-word cache-padded slots
+// at that size would be an 1+ GiB metadata array.
+const std::vector<std::string>& region_backends() {
+  static const std::vector<std::string> names = {"tl2-region",
+                                                 "norec-region"};
+  return names;
+}
+
+constexpr std::size_t kRegionScaleWords = std::size_t{1} << 24;  // 16.7M
 
 void run_mix(benchmark::State& state, const char* scenario,
              double write_fraction, AccessPattern pattern,
@@ -116,6 +128,48 @@ void BM_MixedRegimes(benchmark::State& state) {
           /*read_only_fraction=*/0.8, /*hot_op_fraction=*/0.25);
 }
 
+// B1/region_scale — the region tier at a size the boxed tier cannot
+// represent: uniform read-mostly traffic over kRegionScaleWords heap
+// words. The interesting contrast is stripe-table TL2 (metadata pressure
+// scales with the stripe count, capped at 2^22) against NOrec (no per-word
+// metadata, but every commit serialises on one word) as the working set
+// dwarfs every cache level.
+void BM_RegionScale(benchmark::State& state) {
+  const std::string backend =
+      region_backends()[static_cast<std::size_t>(state.range(0))];
+  const int threads = static_cast<int>(state.range(1));
+
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  oftm::workload::RunResult merged;
+  WorkloadConfig config;
+  for (auto _ : state) {
+    config.threads = threads;
+    config.run_seconds = 0.15;
+    config.ops_per_tx = 6;
+    config.write_fraction = 0.2;
+    config.pattern = AccessPattern::kUniform;
+    config.seed = 42;
+    const auto r = oftm::workload::visit_tm(
+        backend, kRegionScaleWords,
+        [&](auto& tm) { return oftm::workload::run_workload(tm, config); });
+    state.SetIterationTime(r.seconds);
+    committed += r.committed;
+    aborted += r.aborted_attempts;
+    merged.accumulate_run(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(committed));
+  state.counters["threads"] = threads;
+  state.counters["abort_ratio"] =
+      committed + aborted > 0
+          ? static_cast<double>(aborted) / static_cast<double>(committed +
+                                                               aborted)
+          : 0.0;
+  state.SetLabel(backend);
+  oftm::workload::report::emit_run("B1", "region_scale", backend, config,
+                                   merged, kRegionScaleWords);
+}
+
 std::vector<std::vector<std::int64_t>> args_product() {
   std::vector<std::vector<std::int64_t>> out;
   for (std::size_t b = 0; b < backends().size(); ++b) {
@@ -148,6 +202,14 @@ void register_all() {
         ->Args(args)
         ->UseManualTime()
         ->Iterations(2);
+  }
+  for (std::size_t b = 0; b < region_backends().size(); ++b) {
+    for (std::int64_t t : {1, 2, 4, 8, 16}) {
+      benchmark::RegisterBenchmark("B1/region_scale", BM_RegionScale)
+          ->Args({static_cast<std::int64_t>(b), t})
+          ->UseManualTime()
+          ->Iterations(2);
+    }
   }
 }
 

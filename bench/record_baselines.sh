@@ -28,6 +28,8 @@ for b in "${gbench_benches[@]}" "${standalone_benches[@]}"; do
   args=()
   case "$b" in
     bench_throughput)
+      # Includes the region tier: tl2-region/norec-region rows in every B1
+      # scenario plus the B1/region_scale sweep over a 16M-word heap.
       args=(--benchmark_out="$out_dir/BENCH_throughput.json"
             --benchmark_out_format=json)
       ;;

@@ -1,0 +1,260 @@
+// TmRegion tier, part 1: the byte-addressable transactional heap.
+//
+// Every transactional datum elsewhere in this repo is a boxed TVar with
+// per-object metadata — fine for the paper's proofs, hopeless for the
+// scale story (10M+ words) and for studying the cache/false-sharing design
+// real STMs confront. The region tier transacts over *raw memory* instead,
+// the TL2 ("Transactional Locking II", Dice/Shalev/Shavit) per-stripe
+// design: word-granular accesses, metadata in a global lock-stripe array
+// (src/lock/stripe_table.hpp) hashed from the word's address, and a heap
+// whose blocks can be allocated and freed *inside* transactions.
+//
+// This header owns the memory side:
+//
+//   RegionOptions — capacity plus the two false-sharing knobs (stripe
+//                   count, stripe granularity) the region backends read.
+//   RegionHeap    — a fixed-capacity arena with size-class free lists.
+//                   alloc()/free_now() are immediate (used for setup and
+//                   for the allocations of *aborted* transactions, which
+//                   were never visible to anyone); retire() defers reuse
+//                   through an EpochManager grace period so a block freed
+//                   by a committed transaction is never recycled while a
+//                   concurrent (doomed) reader may still dereference it.
+//
+// Reclamation safety argument, in one place because every region backend
+// leans on it: a region transaction holds an epoch Guard for its whole
+// active lifetime (prepare -> commit/abort). A pointer to a block can only
+// be obtained from a consistent snapshot, and the transaction that frees a
+// block unlinks it in the same transaction (standard malloc discipline),
+// so a transaction started after the free commits can never reach the
+// block; a transaction started before is pinned and blocks recycling.
+// Reads of a retired-but-not-recycled block stay memory-safe (the arena is
+// never unmapped) and are value-stable (retire does not write), so TL2
+// version validation and NOrec value revalidation both remain sound.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/types.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/epoch.hpp"
+#include "runtime/spin_lock.hpp"
+#include "runtime/xorshift.hpp"
+
+namespace oftm::core {
+
+struct RegionOptions {
+  // Arena size. 0 = derived by the consumer (RegionWordTm sizes it from
+  // num_tvars; direct users should set it).
+  std::size_t capacity_bytes = 0;
+
+  // log2 of the number of lock stripes in the global versioned-lock table.
+  // 0 = auto: next_pow2(words) clamped to [2^14, 2^22]. More stripes =
+  // fewer false conflicts but a larger always-hot metadata array; this is
+  // one axis of the false-sharing design space the region tier exists to
+  // expose.
+  unsigned stripe_count_log2 = 0;
+
+  // log2 of the bytes that map onto one stripe (>= 3, i.e. at least one
+  // 64-bit word). 3 = per-word metadata (TL2's default), 6 = one stripe
+  // per cache line — coarser granules trade metadata footprint for
+  // word-adjacency false conflicts. The other axis of the sweep.
+  unsigned granularity_log2 = 3;
+};
+
+// Fixed-capacity transactional arena. Thread-safe; allocation is a
+// size-class free-list pop (per-class spin lock) with a bump-pointer
+// fallback, so steady-state transactional workloads that do not allocate
+// touch it not at all, and alloc/free churn costs one small critical
+// section. Returned payloads are 16-byte aligned and zeroed.
+class RegionHeap {
+ public:
+  explicit RegionHeap(std::size_t capacity_bytes);
+
+  RegionHeap(const RegionHeap&) = delete;
+  RegionHeap& operator=(const RegionHeap&) = delete;
+
+  // Immediate allocation; nullptr when the arena is exhausted.
+  void* alloc(std::size_t payload_bytes);
+
+  // Immediate reuse. Only legal when no concurrent reader can hold the
+  // pointer: setup/teardown, or the alloc-undo of an aborted transaction
+  // (its blocks were never published).
+  void free_now(void* payload);
+
+  // Deferred reuse through the heap's epoch manager: the block re-enters
+  // the free lists only after a grace period. The path committed tx_free
+  // takes.
+  void retire(void* payload);
+
+  bool contains(const void* p) const noexcept {
+    const std::byte* b = static_cast<const std::byte*>(p);
+    return b >= arena_.get() && b < arena_.get() + capacity_;
+  }
+
+  // Usable payload bytes of a live block.
+  std::size_t block_bytes(const void* payload) const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  // Bytes currently under allocated blocks (headers included); retired
+  // blocks count until their grace period elapses.
+  std::size_t allocated_bytes() const noexcept {
+    return allocated_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // The manager region transactions pin and tx_free retires through. Each
+  // heap owns its instance (the PR-4-hardened EpochManager) so teardown
+  // can drain every pending retirement back into free lists that are
+  // still alive, and so a long-pinned reader elsewhere in the process
+  // cannot stall region reclamation.
+  runtime::EpochManager& epochs() noexcept { return epochs_; }
+
+  // Test/teardown helper: advance + sweep until nothing this thread
+  // retired remains pending. Caller guarantees quiescence.
+  void flush_reclamation();
+
+ private:
+  // 16-byte header in front of every payload: total block size (header
+  // included) + an allocation-state word that turns double free / foreign
+  // pointer bugs into assertions instead of corruption.
+  struct BlockHeader {
+    std::uint64_t total_bytes;
+    std::uint64_t state;
+  };
+  static constexpr std::uint64_t kStateAllocated = 0xA110CA7Eu;
+  static constexpr std::uint64_t kStateFree = 0xF4EEB10Cu;
+  static constexpr std::size_t kHeaderBytes = sizeof(BlockHeader);
+  // Smallest block: header + one free-list link, rounded to pow2.
+  static constexpr std::size_t kMinBlockBytes = 32;
+  // Blocks up to this total size use power-of-two size classes; larger
+  // ones are rounded to 256 B and recycled through an exact-fit pool.
+  static constexpr std::size_t kLargeThreshold = std::size_t{1} << 16;
+  static constexpr std::size_t kLargeQuantum = 256;
+  static constexpr int kNumClasses = 12;  // 32 .. 65536
+
+  static std::size_t round_total(std::size_t payload_bytes) noexcept;
+  static int class_of(std::size_t total) noexcept;
+
+  BlockHeader* header_of(void* payload) const {
+    return reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(payload) -
+                                          kHeaderBytes);
+  }
+
+  void* pop_free(std::size_t total);
+  void push_free(std::byte* block, std::size_t total);
+  void* bump(std::size_t total);
+
+  struct alignas(64) FreeList {
+    runtime::SpinLock lock;
+    std::byte* head = nullptr;  // link stored in the block payload area
+  };
+
+  struct ArenaDeleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete(p, std::align_val_t{runtime::kCacheLineSize});
+    }
+  };
+
+  std::size_t capacity_ = 0;
+  // RAII member, not a manual delete in a destructor body: ~EpochManager
+  // (below, destroyed first) drains pending retirements through free_now,
+  // which reads block headers inside the arena — the arena must outlive it.
+  std::unique_ptr<std::byte[], ArenaDeleter> arena_;
+  std::atomic<std::size_t> bump_{0};
+  std::atomic<std::size_t> allocated_bytes_{0};
+  FreeList classes_[kNumClasses];
+  runtime::SpinLock large_lock_;
+  std::vector<std::pair<std::byte*, std::size_t>> large_pool_;
+  // Declared last: destroyed first, draining pending retirements back into
+  // the free lists above while they still exist.
+  runtime::EpochManager epochs_;
+};
+
+// Open-addressed redo log for region transactions: word address -> value,
+// linear probing, power-of-two capacity, grown geometrically and *kept*
+// across transactions of a pooled descriptor — the same shape (and the
+// same reason) as NOrec's TVarId-keyed WriteSet.
+class RegionWriteSet {
+ public:
+  RegionWriteSet() : table_(kInitialCapacity) {}
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void clear() noexcept {
+    if (size_ == 0) return;
+    for (Entry& e : table_) e = Entry{};
+    size_ = 0;
+  }
+
+  const Value* find(const Value* addr) const noexcept {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = slot_of(addr, mask);; i = (i + 1) & mask) {
+      const Entry& e = table_[i];
+      if (e.addr == addr) return &e.value;
+      if (e.addr == nullptr) return nullptr;
+    }
+  }
+
+  void put(Value* addr, Value v) {
+    if (size_ * 2 >= table_.size()) grow();
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = slot_of(addr, mask);; i = (i + 1) & mask) {
+      Entry& e = table_[i];
+      if (e.addr == addr) {
+        e.value = v;
+        return;
+      }
+      if (e.addr == nullptr) {
+        e = Entry{addr, v};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Entry& e : table_) {
+      if (e.addr != nullptr) f(e.addr, e.value);
+    }
+  }
+
+ private:
+  struct Entry {
+    Value* addr = nullptr;
+    Value value = 0;
+  };
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  static std::size_t slot_of(const Value* addr, std::size_t mask) noexcept {
+    return static_cast<std::size_t>(runtime::mix64(
+               reinterpret_cast<std::uintptr_t>(addr) >> 3)) &
+           mask;
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign(old.size() * 2, Entry{});
+    const std::size_t mask = table_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.addr == nullptr) continue;
+      for (std::size_t i = slot_of(e.addr, mask);; i = (i + 1) & mask) {
+        if (table_[i].addr == nullptr) {
+          table_[i] = e;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Entry> table_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace oftm::core

@@ -1,0 +1,109 @@
+// TmRegion tier, part 5: the address -> t-variable adapter.
+//
+// RegionWordTm<R> lays out num_tvars contiguous words inside a region
+// backend's heap and exposes them through the repo's TransactionalMemory
+// interface: TVarId x is the word at words_[x]. That one indirection makes
+// the *entire* existing verification and measurement stack — conformance
+// suite, history recorder, check_mvsg/check_opacity, checked stress, the
+// workload driver — certify region histories unchanged: a region backend
+// earns the same opacity evidence as the boxed backends by construction,
+// which is the acceptance bar for the region tier.
+//
+// The region-only capabilities (tx_alloc/tx_free, raw word addressing) are
+// reachable through region(): region-specific tests and benches drive them
+// directly on the concrete backend, outside this interface.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/platform.hpp"
+#include "core/region.hpp"
+#include "core/tm.hpp"
+#include "runtime/assert.hpp"
+
+namespace oftm::core {
+
+template <typename R>
+class RegionWordTm final : public TransactionalMemory {
+ public:
+  using Txn = typename R::Txn;
+  using Session = PooledTmSession<Txn>;
+
+  // options.capacity_bytes == 0 derives the arena from num_tvars: the word
+  // array plus headroom so transactional alloc/free tests and workloads
+  // have space to churn in.
+  explicit RegionWordTm(std::size_t num_tvars, RegionOptions options = {})
+      : num_tvars_(num_tvars), region_(derive(options, num_tvars)) {
+    words_ = static_cast<Value*>(
+        region_.heap().alloc(num_tvars * sizeof(Value)));
+    OFTM_ASSERT_MSG(words_ != nullptr, "region arena too small for t-vars");
+  }
+
+  R& region() noexcept { return region_; }
+  Value* words() noexcept { return words_; }
+
+  TmSession& this_thread_session() override {
+    return session(HwPlatform::thread_id());
+  }
+
+  Transaction& begin(TmSession& session) override {
+    Txn& tx = static_cast<Session&>(session).hot();
+    region_.prepare(tx);
+    return tx;
+  }
+
+  TxnPtr begin() override {
+    Txn& tx = static_cast<Session&>(session(HwPlatform::thread_id())).checkout();
+    region_.prepare(tx);
+    return TxnPtr(&tx);
+  }
+
+  std::optional<Value> read(Transaction& t, TVarId x) override {
+    OFTM_ASSERT(x < num_tvars_);
+    return region_.read(static_cast<Txn&>(t), words_ + x);
+  }
+
+  bool write(Transaction& t, TVarId x, Value v) override {
+    OFTM_ASSERT(x < num_tvars_);
+    return region_.write(static_cast<Txn&>(t), words_ + x, v);
+  }
+
+  bool try_commit(Transaction& t) override {
+    return region_.try_commit(static_cast<Txn&>(t));
+  }
+
+  void try_abort(Transaction& t) override {
+    region_.try_abort(static_cast<Txn&>(t));
+  }
+
+  std::size_t num_tvars() const override { return num_tvars_; }
+  Value read_quiescent(TVarId x) const override {
+    return region_.read_quiescent(words_ + x);
+  }
+  std::string name() const override { return region_.name(); }
+  runtime::TxStats stats() const override { return region_.stats(); }
+  void reset_stats() override { region_.reset_stats(); }
+
+ protected:
+  std::unique_ptr<TmSession> make_session(ThreadSlot slot) override {
+    return std::make_unique<Session>(slot);
+  }
+
+ private:
+  static RegionOptions derive(RegionOptions options, std::size_t num_tvars) {
+    if (options.capacity_bytes == 0) {
+      options.capacity_bytes =
+          num_tvars * sizeof(Value) + (std::size_t{1} << 20);
+    }
+    return options;
+  }
+
+  const std::size_t num_tvars_;
+  R region_;
+  Value* words_ = nullptr;  // owned by the region heap
+};
+
+}  // namespace oftm::core

@@ -1,0 +1,374 @@
+// TmRegion tier, part 3: TL2 over raw memory.
+//
+// The same algorithm as src/lock/tl2.hpp — global version clock,
+// invisible reads validated against a read version, commit-time locking in
+// canonical order with bounded patience — but transacting over the words
+// of a RegionHeap instead of boxed TVars, with all metadata in a global
+// StripeTable hashed from the word's address. This is the shape the
+// original TL2 paper actually ships (its "PS" mode): per-object metadata
+// was the concession this repo's boxed tier made to the formal model, and
+// the region tier removes it.
+//
+// Differences from the boxed Tl2, all forced by raw memory:
+//
+//   * Conflict unit = stripe, not t-variable. Validation compares stripe
+//     versions; aliasing (granule neighbours or hash collisions) can only
+//     manufacture extra conflicts, never hide one (stripe_table.hpp).
+//   * Transactions can allocate and free heap blocks (tx_alloc/tx_free).
+//     Allocations are transaction-private until commit: reads and writes
+//     of own blocks bypass the stripe protocol entirely (in-place access),
+//     which both saves redo-log traffic and avoids false aborts from the
+//     stale stripe versions a recycled address range carries. Aborts
+//     return the private blocks immediately; commits keep them. Frees are
+//     deferred: a committed tx_free retires the block through the heap's
+//     EpochManager so no concurrent (doomed) reader can see it recycled.
+//   * Every transaction holds an epoch Guard from prepare() to its final
+//     commit/abort/release — the pin that makes the deferral sound (the
+//     full argument lives at the top of core/region.hpp).
+//
+// Accesses to heap words use std::atomic_ref: the heap is plain memory,
+// but transactional loads/stores race by design and are rolled into the
+// same acquire/release discipline as the boxed backend's Slot atomics.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/region.hpp"
+#include "core/tm.hpp"
+#include "lock/stripe_table.hpp"
+#include "lock/versioned_lock.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/epoch.hpp"
+
+namespace oftm::lock {
+
+struct Tl2RegionOptions {
+  int lock_patience = 64;  // spins per write-set stripe before self-abort
+};
+
+class Tl2Region final : private core::TmStatsMixin {
+ public:
+  class Txn final : public core::Transaction {
+   public:
+    Txn() = default;
+    ~Txn() override = default;
+    core::TxStatus status() const override { return status_; }
+    core::TxId id() const override { return id_; }
+
+   protected:
+    // A dropped portability-tier handle may leave the transaction active;
+    // it still owns private allocations and the epoch pin — roll back
+    // before the descriptor re-enters the pool (the tl.hpp pattern).
+    void handle_released() noexcept override {
+      if (tm_ != nullptr && status_ == core::TxStatus::kActive) {
+        tm_->rollback_abort(*this);
+      }
+      core::Transaction::handle_released();
+    }
+
+   private:
+    friend class Tl2Region;
+    struct ReadEntry {
+      std::uint32_t stripe;
+      std::uint64_t version;  // stripe version observed at read time
+    };
+    Tl2Region* tm_ = nullptr;
+    core::TxId id_ = 0;
+    std::uint64_t rv_ = 0;
+    // A pooled descriptor is born finished; prepare() arms it.
+    core::TxStatus status_ = core::TxStatus::kAborted;
+    std::vector<ReadEntry> reads_;
+    core::RegionWriteSet writes_;
+    std::vector<void*> allocs_;  // private until commit
+    std::vector<void*> frees_;   // retired at commit
+    // Commit-path scratch, kept across transactions so the commit protocol
+    // allocates nothing after warm-up.
+    struct CommitEntry {
+      core::Value* addr;
+      core::Value value;
+      std::uint32_t stripe;
+    };
+    std::vector<CommitEntry> commit_set_;
+    std::vector<std::uint32_t> locked_stripes_;
+    std::vector<std::uint64_t> lock_versions_;
+    // Pin held for the whole active lifetime; see core/region.hpp.
+    std::optional<runtime::EpochManager::Guard> guard_;
+
+    bool owns(const void* addr, const core::RegionHeap& heap) const {
+      for (void* p : allocs_) {
+        const std::byte* b = static_cast<const std::byte*>(p);
+        const std::byte* a = static_cast<const std::byte*>(addr);
+        if (a >= b && a < b + heap.block_bytes(p)) return true;
+      }
+      return false;
+    }
+  };
+
+  using Session = core::PooledTmSession<Txn>;
+
+  explicit Tl2Region(const core::RegionOptions& options,
+                     Tl2RegionOptions tl2_options = {})
+      : options_(tl2_options),
+        heap_(options.capacity_bytes),
+        stripes_(options.stripe_count_log2 != 0
+                     ? options.stripe_count_log2
+                     : auto_stripe_count_log2(options.capacity_bytes / 8),
+                 options.granularity_log2) {}
+
+  core::RegionHeap& heap() noexcept { return heap_; }
+  const StripeTable& stripes() const noexcept { return stripes_; }
+
+  // Re-arm a pooled descriptor (set capacity survives). Finishes an
+  // abandoned active predecessor first: unlike the boxed TL2, an active
+  // region transaction owns resources (private blocks, the epoch pin).
+  void prepare(Txn& tx) {
+    if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
+      rollback_abort(tx);
+    }
+    tx.tm_ = this;
+    tx.guard_.emplace(heap_.epochs());
+    tx.rv_ = clock_.value.load(std::memory_order_acquire);
+    tx.id_ = next_tx_id();
+    tx.status_ = core::TxStatus::kActive;
+    tx.reads_.clear();
+    tx.writes_.clear();
+    tx.allocs_.clear();
+    tx.frees_.clear();
+  }
+
+  std::optional<core::Value> read(Txn& tx, const core::Value* addr) {
+    reads_.add();
+    OFTM_ASSERT(heap_.contains(addr));
+    if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
+
+    if (const core::Value* w = tx.writes_.find(addr)) return *w;
+    if (tx.owns(addr, heap_)) {
+      // Private block: nobody else can touch it, and its stripes carry
+      // whatever versions the address range's previous life left behind —
+      // bypass validation entirely.
+      return std::atomic_ref<const core::Value>(*addr).load(
+          std::memory_order_relaxed);
+    }
+
+    const std::size_t si = stripes_.index_of(addr);
+    const auto& s = stripes_.stripe(si);
+    const std::uint64_t w1 = s.load(std::memory_order_acquire);
+    const core::Value v =
+        std::atomic_ref<const core::Value>(*addr).load(
+            std::memory_order_relaxed);
+    const std::uint64_t w2 = s.load(std::memory_order_acquire);
+    // Valid iff stable, unlocked, and not newer than our read version.
+    if (w1 == w2 && !LockWord::locked(w1) && LockWord::version(w1) <= tx.rv_) {
+      tx.reads_.push_back(
+          {static_cast<std::uint32_t>(si), LockWord::version(w1)});
+      return v;
+    }
+    abort_forced(tx);
+    return std::nullopt;
+  }
+
+  bool write(Txn& tx, core::Value* addr, core::Value v) {
+    writes_.add();
+    OFTM_ASSERT(heap_.contains(addr));
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    if (tx.owns(addr, heap_)) {
+      // Private block: write in place, no redo log, no commit-time lock.
+      std::atomic_ref<core::Value>(*addr).store(v, std::memory_order_relaxed);
+      return true;
+    }
+    tx.writes_.put(addr, v);
+    return true;
+  }
+
+  // Allocate a zeroed block inside the transaction. nullptr when the arena
+  // is exhausted — not an abort; the caller decides (exhaustion is not a
+  // conflict and retrying will not help).
+  void* tx_alloc(Txn& tx, std::size_t bytes) {
+    if (tx.status_ != core::TxStatus::kActive) return nullptr;
+    void* p = heap_.alloc(bytes);
+    if (p != nullptr) tx.allocs_.push_back(p);
+    return p;
+  }
+
+  // Free a block inside the transaction. Deferred to commit: a committed
+  // free retires the block through the grace period; an abort forgets it.
+  bool tx_free(Txn& tx, void* p) {
+    OFTM_ASSERT(heap_.contains(p));
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    tx.frees_.push_back(p);
+    return true;
+  }
+
+  bool try_commit(Txn& tx) {
+    if (tx.status_ != core::TxStatus::kActive) return false;
+
+    // Read-only fast path (no shared words written): every read was
+    // validated against rv at read time; nothing to lock. Private-block
+    // writes and alloc/free logs still settle.
+    if (tx.writes_.empty()) {
+      settle_commit(tx);
+      return true;
+    }
+
+    // Gather the redo log into commit scratch, sort by (stripe, addr), and
+    // lock each distinct stripe once, in ascending order (deadlock
+    // avoidance across committers), bounded spins (self-abort liveness).
+    auto& cs = tx.commit_set_;
+    cs.clear();
+    tx.writes_.for_each([&](core::Value* addr, core::Value v) {
+      cs.push_back({addr, v, static_cast<std::uint32_t>(
+                                 stripes_.index_of(addr))});
+    });
+    std::sort(cs.begin(), cs.end(), [](const auto& a, const auto& b) {
+      return a.stripe != b.stripe ? a.stripe < b.stripe : a.addr < b.addr;
+    });
+
+    std::vector<std::uint32_t>& locked = tx.locked_stripes_;
+    std::vector<std::uint64_t>& base = tx.lock_versions_;
+    locked.clear();
+    base.clear();
+    core::HwPlatform::Backoff backoff;
+    for (const auto& e : cs) {
+      if (!locked.empty() && locked.back() == e.stripe) continue;  // dup
+      auto& s = stripes_.stripe(e.stripe);
+      int spin = 0;
+      for (;;) {
+        std::uint64_t w = s.load(std::memory_order_acquire);
+        if (!LockWord::locked(w)) {
+          const std::uint64_t held = LockWord::pack(LockWord::version(w), true);
+          if (s.compare_exchange_strong(w, held, std::memory_order_acq_rel)) {
+            locked.push_back(e.stripe);
+            base.push_back(LockWord::version(w));
+            break;
+          }
+        }
+        if (++spin > options_.lock_patience) {
+          unlock_stripes(tx, base, locked.size());
+          abort_forced(tx);
+          return false;
+        }
+        cm_backoffs_.add();
+        backoff.pause();
+      }
+    }
+
+    // Commit timestamp from the shared clock.
+    const std::uint64_t wv =
+        clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+    // Validate the read set unless nobody could have committed in between.
+    // "Own" is stripe membership: a stripe this transaction locked is
+    // allowed to appear locked.
+    if (tx.rv_ + 1 != wv) {
+      for (const auto& r : tx.reads_) {
+        const bool own =
+            std::binary_search(locked.begin(), locked.end(), r.stripe);
+        const std::uint64_t w =
+            stripes_.stripe(r.stripe).load(std::memory_order_acquire);
+        if ((LockWord::locked(w) && !own) || LockWord::version(w) > tx.rv_) {
+          unlock_stripes(tx, base, locked.size());
+          abort_forced(tx);
+          return false;
+        }
+      }
+    }
+
+    // Write back, then release every stripe with the commit version.
+    for (const auto& e : cs) {
+      std::atomic_ref<core::Value>(*e.addr).store(e.value,
+                                                  std::memory_order_relaxed);
+    }
+    for (std::uint32_t si : locked) {
+      stripes_.stripe(si).store(LockWord::pack(wv, false),
+                                std::memory_order_release);
+    }
+    settle_commit(tx);
+    return true;
+  }
+
+  void try_abort(Txn& tx) {
+    if (tx.status_ != core::TxStatus::kActive) return;
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+  }
+
+  core::Value read_quiescent(const core::Value* addr) const {
+    return std::atomic_ref<const core::Value>(*addr).load(
+        std::memory_order_acquire);
+  }
+
+  std::string name() const { return "tl2-region"; }
+  runtime::TxStats stats() const { return collect_stats(); }
+  void reset_stats() { reset_collect_stats(); }
+
+ private:
+  static core::TxId next_tx_id() {
+    thread_local std::uint64_t counter = 0;
+    return core::make_tx_id(core::HwPlatform::thread_id(), ++counter);
+  }
+
+  // Commit epilogue: settle the allocation logs, then drop the pin.
+  // Self-allocated-and-freed blocks were never published — immediate
+  // reuse; foreign frees wait out the grace period.
+  void settle_commit(Txn& tx) {
+    for (void* p : tx.frees_) {
+      auto it = std::find(tx.allocs_.begin(), tx.allocs_.end(), p);
+      if (it != tx.allocs_.end()) {
+        *it = tx.allocs_.back();
+        tx.allocs_.pop_back();
+        heap_.free_now(p);
+      } else {
+        heap_.retire(p);
+      }
+    }
+    tx.status_ = core::TxStatus::kCommitted;
+    commits_.add();
+    tx.guard_.reset();
+  }
+
+  // Abort epilogue: private blocks were never visible — return them
+  // immediately; frees never happened.
+  void rollback(Txn& tx) {
+    for (void* p : tx.allocs_) heap_.free_now(p);
+    tx.allocs_.clear();
+    tx.frees_.clear();
+    tx.guard_.reset();
+  }
+
+  void rollback_abort(Txn& tx) {
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+  }
+
+  void abort_forced(Txn& tx) {
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+    forced_aborts_.add();
+  }
+
+  void unlock_stripes(Txn& tx, const std::vector<std::uint64_t>& base,
+                      std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      stripes_.stripe(tx.locked_stripes_[i])
+          .store(LockWord::pack(base[i], false), std::memory_order_release);
+    }
+  }
+
+  const Tl2RegionOptions options_;
+  core::RegionHeap heap_;
+  StripeTable stripes_;
+  runtime::CacheAligned<std::atomic<std::uint64_t>> clock_{0};
+};
+
+}  // namespace oftm::lock

@@ -1,0 +1,294 @@
+// TmRegion tier, part 4: NOrec over raw memory.
+//
+// The same algorithm as src/norec/norec.hpp — one global sequence lock,
+// invisible reads, commit-time value-based revalidation, lazy write-back —
+// transacting over the words of a RegionHeap. NOrec needs *no* per-word
+// metadata at all, which makes it the natural region baseline: the
+// stripe-table design space Tl2Region sweeps collapses here to a single
+// shared word, and the comparison quantifies what the stripes buy.
+//
+// Region mechanics (private allocations accessed in place, commit-retired
+// frees, the per-transaction epoch pin) are identical to Tl2Region; the
+// reclamation argument at the top of core/region.hpp covers both. One
+// NOrec-specific consequence is worth naming: value-based revalidation may
+// re-read words of a block that was freed and retired after this
+// transaction's snapshot. The pin guarantees the block has not been
+// recycled, and retire() does not write, so those loads are memory-safe
+// and return the values the snapshot saw — revalidation stays sound.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/region.hpp"
+#include "core/tm.hpp"
+#include "runtime/assert.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/epoch.hpp"
+
+namespace oftm::norec {
+
+class NorecRegion final : private core::TmStatsMixin {
+ public:
+  class Txn final : public core::Transaction {
+   public:
+    Txn() = default;
+    ~Txn() override = default;
+    core::TxStatus status() const override { return status_; }
+    core::TxId id() const override { return id_; }
+
+   protected:
+    // A dropped portability-tier handle may leave the transaction active;
+    // it still owns private allocations and the epoch pin.
+    void handle_released() noexcept override {
+      if (tm_ != nullptr && status_ == core::TxStatus::kActive) {
+        tm_->rollback_abort(*this);
+      }
+      core::Transaction::handle_released();
+    }
+
+   private:
+    friend class NorecRegion;
+    struct ReadEntry {
+      const core::Value* addr;
+      core::Value value;  // the value this transaction observed
+    };
+    NorecRegion* tm_ = nullptr;
+    core::TxId id_ = 0;
+    std::uint64_t snapshot_ = 0;  // even sequence-lock value the reads are
+                                  // currently validated against
+    // A pooled descriptor is born finished; prepare() arms it.
+    core::TxStatus status_ = core::TxStatus::kAborted;
+    std::vector<ReadEntry> reads_;
+    core::RegionWriteSet writes_;
+    std::vector<void*> allocs_;  // private until commit
+    std::vector<void*> frees_;   // retired at commit
+    // Pin held for the whole active lifetime; see core/region.hpp.
+    std::optional<runtime::EpochManager::Guard> guard_;
+
+    bool owns(const void* addr, const core::RegionHeap& heap) const {
+      for (void* p : allocs_) {
+        const std::byte* b = static_cast<const std::byte*>(p);
+        const std::byte* a = static_cast<const std::byte*>(addr);
+        if (a >= b && a < b + heap.block_bytes(p)) return true;
+      }
+      return false;
+    }
+  };
+
+  using Session = core::PooledTmSession<Txn>;
+
+  explicit NorecRegion(const core::RegionOptions& options)
+      : heap_(options.capacity_bytes) {}
+
+  core::RegionHeap& heap() noexcept { return heap_; }
+
+  // Re-arm a pooled descriptor, finishing an abandoned active predecessor
+  // first (it owns private blocks and the epoch pin).
+  void prepare(Txn& tx) {
+    if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
+      rollback_abort(tx);
+    }
+    tx.tm_ = this;
+    tx.guard_.emplace(heap_.epochs());
+    // Snapshot an even (quiescent) sequence-lock value; all shared-word
+    // accesses here are seq_cst, as in the boxed backend.
+    std::uint64_t s = seqlock_.value.load(std::memory_order_seq_cst);
+    while (s & 1) {
+      core::HwPlatform::pause();
+      s = seqlock_.value.load(std::memory_order_seq_cst);
+    }
+    tx.id_ = next_tx_id();
+    tx.snapshot_ = s;
+    tx.status_ = core::TxStatus::kActive;
+    tx.reads_.clear();
+    tx.writes_.clear();
+    tx.allocs_.clear();
+    tx.frees_.clear();
+  }
+
+  std::optional<core::Value> read(Txn& tx, const core::Value* addr) {
+    reads_.add();
+    OFTM_ASSERT(heap_.contains(addr));
+    if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
+
+    if (const core::Value* w = tx.writes_.find(addr)) return *w;
+    if (tx.owns(addr, heap_)) {
+      // Private block: invisible to everyone else, so no snapshot
+      // discipline applies (and it must not enter the read set — its
+      // values may legitimately change in place under this transaction).
+      return std::atomic_ref<const core::Value>(*addr).load(
+          std::memory_order_relaxed);
+    }
+
+    // Invisible read with post-validation, exactly the boxed protocol.
+    core::Value v = std::atomic_ref<const core::Value>(*addr).load(
+        std::memory_order_seq_cst);
+    while (seqlock_.value.load(std::memory_order_seq_cst) != tx.snapshot_) {
+      if (!revalidate(tx)) {
+        abort_forced(tx);
+        return std::nullopt;
+      }
+      v = std::atomic_ref<const core::Value>(*addr).load(
+          std::memory_order_seq_cst);
+    }
+    tx.reads_.push_back({addr, v});
+    return v;
+  }
+
+  bool write(Txn& tx, core::Value* addr, core::Value v) {
+    writes_.add();
+    OFTM_ASSERT(heap_.contains(addr));
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    if (tx.owns(addr, heap_)) {
+      std::atomic_ref<core::Value>(*addr).store(v, std::memory_order_relaxed);
+      return true;
+    }
+    tx.writes_.put(addr, v);
+    return true;
+  }
+
+  // Allocate a zeroed block inside the transaction; nullptr on exhaustion
+  // (not an abort — retrying will not help).
+  void* tx_alloc(Txn& tx, std::size_t bytes) {
+    if (tx.status_ != core::TxStatus::kActive) return nullptr;
+    void* p = heap_.alloc(bytes);
+    if (p != nullptr) tx.allocs_.push_back(p);
+    return p;
+  }
+
+  bool tx_free(Txn& tx, void* p) {
+    OFTM_ASSERT(heap_.contains(p));
+    if (tx.status_ != core::TxStatus::kActive) return false;
+    tx.frees_.push_back(p);
+    return true;
+  }
+
+  bool try_commit(Txn& tx) {
+    if (tx.status_ != core::TxStatus::kActive) return false;
+
+    // Read-only fast path: invisible end to end, the clock untouched.
+    if (tx.writes_.empty()) {
+      settle_commit(tx);
+      return true;
+    }
+
+    // Acquire the sequence lock at exactly our snapshot; a failed CAS
+    // witnesses a concurrent commit — revalidate by value and retry from
+    // the newer snapshot.
+    std::uint64_t s = tx.snapshot_;
+    while (!seqlock_.value.compare_exchange_strong(
+        s, s + 1, std::memory_order_seq_cst)) {
+      cm_backoffs_.add();
+      if (!revalidate(tx)) {
+        abort_forced(tx);
+        return false;
+      }
+      s = tx.snapshot_;
+    }
+
+    // Lock held (odd): lazy write-back, release with the next even value.
+    tx.writes_.for_each([](core::Value* addr, core::Value v) {
+      std::atomic_ref<core::Value>(*addr).store(v, std::memory_order_seq_cst);
+    });
+    seqlock_.value.store(tx.snapshot_ + 2, std::memory_order_seq_cst);
+    settle_commit(tx);
+    return true;
+  }
+
+  void try_abort(Txn& tx) {
+    if (tx.status_ != core::TxStatus::kActive) return;
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+  }
+
+  core::Value read_quiescent(const core::Value* addr) const {
+    return std::atomic_ref<const core::Value>(*addr).load(
+        std::memory_order_seq_cst);
+  }
+
+  std::string name() const { return "norec-region"; }
+  runtime::TxStats stats() const { return collect_stats(); }
+  void reset_stats() { reset_collect_stats(); }
+
+ private:
+  static core::TxId next_tx_id() {
+    thread_local std::uint64_t counter = 0;
+    return core::make_tx_id(core::HwPlatform::thread_id(), ++counter);
+  }
+
+  // Value-based revalidation over word addresses; identical structure to
+  // the boxed backend.
+  bool revalidate(Txn& tx) {
+    for (;;) {
+      std::uint64_t time = seqlock_.value.load(std::memory_order_seq_cst);
+      if (time & 1) {
+        core::HwPlatform::pause();
+        continue;
+      }
+      bool values_match = true;
+      for (const auto& r : tx.reads_) {
+        if (std::atomic_ref<const core::Value>(*r.addr).load(
+                std::memory_order_seq_cst) != r.value) {
+          values_match = false;
+          break;
+        }
+      }
+      if (!values_match) return false;
+      if (seqlock_.value.load(std::memory_order_seq_cst) == time) {
+        tx.snapshot_ = time;
+        return true;
+      }
+      // The clock moved under us: some commit raced the scan; try again.
+    }
+  }
+
+  void settle_commit(Txn& tx) {
+    for (void* p : tx.frees_) {
+      auto it = std::find(tx.allocs_.begin(), tx.allocs_.end(), p);
+      if (it != tx.allocs_.end()) {
+        *it = tx.allocs_.back();
+        tx.allocs_.pop_back();
+        heap_.free_now(p);  // never published
+      } else {
+        heap_.retire(p);
+      }
+    }
+    tx.status_ = core::TxStatus::kCommitted;
+    commits_.add();
+    tx.guard_.reset();
+  }
+
+  void rollback(Txn& tx) {
+    for (void* p : tx.allocs_) heap_.free_now(p);
+    tx.allocs_.clear();
+    tx.frees_.clear();
+    tx.guard_.reset();
+  }
+
+  void rollback_abort(Txn& tx) {
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+  }
+
+  void abort_forced(Txn& tx) {
+    rollback(tx);
+    tx.status_ = core::TxStatus::kAborted;
+    aborts_.add();
+    forced_aborts_.add();
+  }
+
+  core::RegionHeap heap_;
+  // The one and only ownership record: even = quiescent, odd = a committer
+  // is writing back.
+  runtime::CacheAligned<std::atomic<std::uint64_t>> seqlock_{0};
+};
+
+}  // namespace oftm::norec

@@ -25,17 +25,35 @@ inline void cpu_pause() noexcept {
 // Spin counts are randomized (uniform in [0, limit)) to break the lock-step
 // convoys that plain doubling produces, then the limit doubles up to
 // max_spins. `reset()` is called after a successful operation.
+//
+// Bounds are normalized on construction: the working limit is never 0 (a 0
+// draw range would pin the randomization at a single spin forever) and the
+// doubling is clamped *to* max_spins rather than merely stopped below it,
+// so a non-power-of-two bound is an exact ceiling instead of overshooting
+// by up to 2x.
 class ExponentialBackoff {
  public:
   explicit ExponentialBackoff(std::uint32_t min_spins = 16,
                               std::uint32_t max_spins = 1u << 14) noexcept
-      : min_spins_(min_spins), max_spins_(max_spins), limit_(min_spins) {}
+      : min_spins_(min_spins > 0 ? min_spins : 1),
+        max_spins_(max_spins > min_spins_ ? max_spins : min_spins_),
+        limit_(min_spins_) {}
+
+  // Replayable variant: an explicit seed pins the jitter stream, so two
+  // runs of the same schedule back off identically.
+  ExponentialBackoff(std::uint32_t min_spins, std::uint32_t max_spins,
+                     std::uint64_t seed) noexcept
+      : ExponentialBackoff(min_spins, max_spins) {
+    rng_ = Xoshiro256(seed);
+  }
 
   void pause() noexcept {
     const std::uint32_t spins =
         static_cast<std::uint32_t>(rng_.next_range(limit_)) + 1;
     for (std::uint32_t i = 0; i < spins; ++i) cpu_pause();
-    if (limit_ < max_spins_) limit_ *= 2;
+    const std::uint64_t doubled = std::uint64_t{limit_} * 2;
+    limit_ = doubled < max_spins_ ? static_cast<std::uint32_t>(doubled)
+                                  : max_spins_;
   }
 
   void reset() noexcept { limit_ = min_spins_; }

@@ -20,7 +20,7 @@ EpochManager::~EpochManager() {
         any = true;
         std::vector<Retired> batch = std::move(t.retired);
         t.retired.clear();
-        for (const Retired& r : batch) r.deleter(r.ptr);
+        for (const Retired& r : batch) r.free();
       }
     }
   }
@@ -71,10 +71,24 @@ EpochManager::Guard::~Guard() {
 }
 
 void EpochManager::retire(void* p, void (*deleter)(void*)) {
+  // Contextless deleters ride the context slot: the trampoline recovers the
+  // original function pointer from ctx. (Object<->function pointer casts
+  // are conditionally-supported; every POSIX target we build on supports
+  // them, and this keeps Retired at one deleter field.)
+  retire(
+      p,
+      [](void* q, void* ctx) {
+        reinterpret_cast<void (*)(void*)>(ctx)(q);
+      },
+      reinterpret_cast<void*>(deleter));
+}
+
+void EpochManager::retire(void* p, void (*deleter)(void*, void*), void* ctx) {
   const int tid = ThreadRegistry::current_id();
   ThreadState& t = threads_[tid];
   t.retired.push_back(
-      Retired{p, deleter, global_epoch_.load(std::memory_order_acquire)});
+      Retired{p, deleter, ctx,
+              global_epoch_.load(std::memory_order_acquire)});
   t.retired_size.store(t.retired.size(), std::memory_order_relaxed);
   if (!t.sweeping && t.retired.size() % kReclaimThreshold == 0) reclaim();
 }
@@ -107,7 +121,7 @@ std::size_t EpochManager::sweep(int tid) {
   for (std::size_t i = 0; i < t.retired.size(); ++i) {
     const Retired r = t.retired[i];
     if (r.epoch + 2 <= safe) {
-      r.deleter(r.ptr);
+      r.free();
       ++freed;
     } else {
       t.retired[keep++] = r;
@@ -132,7 +146,7 @@ std::size_t EpochManager::drain_unsafe() {
     std::vector<Retired> batch = std::move(t.retired);
     t.retired.clear();
     freed += batch.size();
-    for (const Retired& r : batch) r.deleter(r.ptr);
+    for (const Retired& r : batch) r.free();
   }
   t.retired_size.store(0, std::memory_order_relaxed);
   return freed;

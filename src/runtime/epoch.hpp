@@ -61,6 +61,13 @@ class EpochManager {
   // Hand an unlinked object to the manager; freed after a grace period.
   void retire(void* p, void (*deleter)(void*));
 
+  // Context-carrying form, for deleters that hand the object back to an
+  // owning facility rather than the global heap (the region tier retires
+  // freed blocks into their RegionHeap's free lists; `ctx` is the heap).
+  // The context must outlive the retirement — facilities guarantee this by
+  // draining their manager before their own teardown.
+  void retire(void* p, void (*deleter)(void*, void* ctx), void* ctx);
+
   template <typename T>
   void retire(T* p) {
     retire(static_cast<void*>(p),
@@ -85,8 +92,11 @@ class EpochManager {
  private:
   struct Retired {
     void* ptr;
-    void (*deleter)(void*);
+    void (*deleter)(void*, void* ctx);
+    void* ctx;
     std::uint64_t epoch;
+
+    void free() const { deleter(ptr, ctx); }
   };
 
   struct alignas(kCacheLineSize) ThreadState {

@@ -5,6 +5,7 @@
 // Xoshiro256** is the standard choice for simulation workloads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace oftm::runtime {
@@ -41,11 +42,20 @@ class Xoshiro256 {
     for (auto& w : s_) w = sm.next();
   }
 
-  // Seeded from the address of a thread-local, which is distinct per thread.
+  // A fresh, process-unique stream for "don't care, just make it distinct"
+  // call sites (per-thread backoff jitter, randomized contention managers).
+  //
+  // Seeded from a monotone global counter mixed through mix64 — never from
+  // addresses: seeding off the ASLR-randomized address of a thread_local
+  // made runs irreproducible across executions and could hand a recycled
+  // thread (same stack slot, same TLS block) the exact stream of its
+  // predecessor. Call sites that need replayability should not use this at
+  // all; they take an explicit seed (see ExponentialBackoff's seed
+  // parameter and the workload driver's config.seed plumbing).
   static Xoshiro256 from_thread() noexcept {
-    thread_local char anchor;
-    return Xoshiro256(reinterpret_cast<std::uint64_t>(&anchor) ^
-                      0x6a09e667f3bcc908ULL);
+    static std::atomic<std::uint64_t> counter{0};
+    return Xoshiro256(
+        mix64(counter.fetch_add(1, std::memory_order_relaxed) + 1));
   }
 
   constexpr std::uint64_t next() noexcept {

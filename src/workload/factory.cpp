@@ -3,12 +3,15 @@
 #include <stdexcept>
 
 #include "cm/managers.hpp"
+#include "core/region_tm.hpp"
 #include "dstm/dstm.hpp"
 #include "foctm/foctm.hpp"
 #include "lock/coarse.hpp"
 #include "lock/tl.hpp"
 #include "lock/tl2.hpp"
+#include "lock/tl2_region.hpp"
 #include "norec/norec.hpp"
+#include "norec/norec_region.hpp"
 
 namespace oftm::workload {
 
@@ -75,6 +78,12 @@ std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
     options.bloom_reads = true;
     return std::make_unique<norec::HwNorec>(num_tvars, options);
   }
+  if (base == "tl2-region") {
+    return std::make_unique<core::RegionWordTm<lock::Tl2Region>>(num_tvars);
+  }
+  if (base == "norec-region") {
+    return std::make_unique<core::RegionWordTm<norec::NorecRegion>>(num_tvars);
+  }
   throw std::invalid_argument("unknown TM backend: " + name);
 }
 
@@ -90,6 +99,7 @@ const std::vector<std::string>& all_backends() {
         "dstm",         "dstm-collapse", "dstm-visible", "foctm",
         "foctm-hinted", "foctm-strict",  "tl",           "tl2",
         "tl2-ext",      "coarse",        "norec",        "norec-bloom",
+        "tl2-region",   "norec-region",
     };
     for (const std::string& cm_name : cm::manager_names()) {
       if (cm_name == "polite") continue;  // the plain "dstm" default

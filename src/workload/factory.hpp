@@ -26,6 +26,12 @@
 //                      anchored against (see src/norec/norec.hpp).
 //   norec-bloom        NOrec with a Bloom-filter write-set gate on the
 //                      read path (the classic hot-path ablation).
+//   tl2-region         TL2 over the word-granular region tier: raw-memory
+//                      heap, metadata in a global lock-stripe table
+//                      (src/lock/tl2_region.hpp), t-variables laid out as
+//                      contiguous heap words via core::RegionWordTm.
+//   norec-region       NOrec over the region tier (no per-word metadata;
+//                      the region baseline the stripe sweep compares to).
 #pragma once
 
 #include <memory>

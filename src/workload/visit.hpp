@@ -21,12 +21,15 @@
 #include <utility>
 
 #include "cm/managers.hpp"
+#include "core/region_tm.hpp"
 #include "dstm/dstm.hpp"
 #include "foctm/foctm.hpp"
 #include "lock/coarse.hpp"
 #include "lock/tl.hpp"
 #include "lock/tl2.hpp"
+#include "lock/tl2_region.hpp"
 #include "norec/norec.hpp"
+#include "norec/norec_region.hpp"
 
 namespace oftm::workload {
 
@@ -108,6 +111,14 @@ auto visit_tm(const std::string& name, std::size_t num_tvars, F&& f) {
     norec::NorecOptions options;
     options.bloom_reads = true;
     norec::HwNorec tm(num_tvars, options);
+    return invoke(tm);
+  }
+  if (base == "tl2-region") {
+    core::RegionWordTm<lock::Tl2Region> tm(num_tvars);
+    return invoke(tm);
+  }
+  if (base == "norec-region") {
+    core::RegionWordTm<norec::NorecRegion> tm(num_tvars);
     return invoke(tm);
   }
   throw std::invalid_argument("unknown TM backend: " + name);

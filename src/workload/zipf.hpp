@@ -14,20 +14,34 @@ namespace oftm::workload {
 class ZipfSampler {
  public:
   // Keys 0..n-1, skew `s` (s = 0 -> uniform; s ~ 0.99 is the YCSB default).
+  // A negative skew is a configuration error, not a distribution this
+  // sampler models — clamp it to uniform rather than feeding h()/h_inv()
+  // a sign they were never derived for (x^-s with s < 0 inverts the
+  // integrand and the rejection loop's envelope no longer dominates).
   ZipfSampler(std::uint64_t n, double s, std::uint64_t seed)
-      : n_(n), s_(s), rng_(seed) {
+      : n_(n), s_(s > 0.0 ? s : 0.0), rng_(seed) {
     h_x1_ = h(1.5) - 1.0;
     h_n_ = h(static_cast<double>(n_) + 0.5);
     dist_ = h_x1_ - h_n_;
+    // Hörmann's quick-accept threshold: x this close below its rounded k
+    // is always under the true pmf, so the common case skips the
+    // exp/log-heavy exact test entirely.
+    quick_s_ = 2.0 - h_inv(h(2.5) - std::exp(-s_ * std::log(2.0)));
   }
 
   std::uint64_t next() {
+    // n == 1 has exactly one answer; the rejection loop's window
+    // [h(1.5), h(1.5)) would be empty and spin forever.
+    if (n_ <= 1) return 0;
     if (s_ == 0.0) return rng_.next_range(n_);
     for (;;) {
       const double u = h_n_ + rng_.next_double() * dist_;
       const double x = h_inv(u);
       const std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
       if (k < 1 || k > n_) continue;
+      // Quick accept (Hörmann & Derflinger): k - x <= s_star is a
+      // sufficient acceptance condition, no pmf evaluation needed.
+      if (static_cast<double>(k) - x <= quick_s_) return k - 1;
       // Accept with probability proportional to the true pmf.
       if (u >= h(static_cast<double>(k) + 0.5) - std::exp(-s_ * std::log(k))) {
         return k - 1;
@@ -49,7 +63,7 @@ class ZipfSampler {
   std::uint64_t n_;
   double s_;
   runtime::Xoshiro256 rng_;
-  double h_x1_ = 0, h_n_ = 0, dist_ = 0;
+  double h_x1_ = 0, h_n_ = 0, dist_ = 0, quick_s_ = 0;
 };
 
 }  // namespace oftm::workload

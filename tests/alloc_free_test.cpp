@@ -14,13 +14,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
 #include "core/atomically.hpp"
+#include "core/region_tm.hpp"
 #include "core/tm.hpp"
 #include "lock/tl2.hpp"
+#include "lock/tl2_region.hpp"
 #include "norec/norec.hpp"
+#include "norec/norec_region.hpp"
 #include "runtime/stats.hpp"
 
 namespace {
@@ -121,6 +125,61 @@ TEST(AllocFree, NorecBloomHotPathAllocatesNothingAfterWarmup) {
 TEST(AllocFree, Tl2HotPathAllocatesNothingAfterWarmup) {
   lock::HwTl2 tm(kNumTVars);
   expect_zero_alloc_hot_path(tm);
+}
+
+// The region tier inherits the property: word-granular transactions over
+// the raw-memory heap reuse the descriptor's read set, redo log, commit
+// scratch and epoch pin in place — the RegionHeap itself is only touched
+// by tx_alloc/tx_free, which this steady state does not issue.
+TEST(AllocFree, Tl2RegionHotPathAllocatesNothingAfterWarmup) {
+  core::RegionWordTm<lock::Tl2Region> tm(kNumTVars);
+  expect_zero_alloc_hot_path(tm);
+}
+
+TEST(AllocFree, NorecRegionHotPathAllocatesNothingAfterWarmup) {
+  core::RegionWordTm<norec::NorecRegion> tm(kNumTVars);
+  expect_zero_alloc_hot_path(tm);
+}
+
+// Transactional alloc/free churn in steady state: blocks recycle through
+// the region's size-class free lists and the epoch retire ring, none of
+// which touches the process heap once warmed up.
+TEST(AllocFree, RegionAllocFreeChurnSteadyStateAllocatesNothing) {
+  core::RegionOptions options;
+  options.capacity_bytes = 1 << 20;
+  lock::Tl2Region region{options};
+  auto* slot = static_cast<core::Value*>(region.heap().alloc(8));
+  ASSERT_NE(slot, nullptr);
+  lock::Tl2Region::Session session(0);
+
+  const auto churn = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      auto& tx = session.hot();
+      region.prepare(tx);
+      const auto cur = region.read(tx, slot);
+      ASSERT_TRUE(cur.has_value());
+      if (*cur != 0) {
+        auto* old = reinterpret_cast<core::Value*>(
+            static_cast<std::uintptr_t>(*cur));
+        ASSERT_TRUE(region.tx_free(tx, old));
+      }
+      void* p = region.tx_alloc(tx, 64);
+      ASSERT_NE(p, nullptr);
+      ASSERT_TRUE(region.write(tx, static_cast<core::Value*>(p), 1));
+      ASSERT_TRUE(region.write(tx, slot,
+                               static_cast<core::Value>(
+                                   reinterpret_cast<std::uintptr_t>(p))));
+      ASSERT_TRUE(region.try_commit(tx));
+    }
+  };
+  churn(600);  // warm-up: free lists, retire ring, descriptor logs
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  churn(1000);
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "transactional alloc/free leaked onto the process heap";
 }
 
 TEST(AllocFree, AtomicallyRetryLoopAllocatesNothingAfterWarmup) {
