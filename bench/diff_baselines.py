@@ -140,6 +140,14 @@ def jsonl_metric(flat):
     return None, None
 
 
+def is_obs_field(key):
+    """Observability fields (abort attribution, phase timing) are
+    informational: phase ns/counts are wall-clock-shaped and abort mixes
+    are schedule-shaped, so neither belongs in a claim comparison."""
+    return (".abort_reasons." in key or ".phases." in key
+            or key.endswith(".forced_abort_ratio"))
+
+
 def claim_fields(flat):
     """Non-key, non-metric scalar results for metric-less records."""
     out = {}
@@ -148,8 +156,31 @@ def claim_fields(flat):
             continue
         if any(k == m for m, _ in METRIC_FIELDS):
             continue
+        if is_obs_field(k):
+            continue
         out[k] = v
     return out
+
+
+def obs_summary(flat):
+    """One-liner from the record's obs fields: the dominant abort reason
+    and the phase with the largest time share. Empty when the record has
+    no attribution data (obs gate off, or an abort-free run)."""
+    reasons = {}
+    phase_ns = {}
+    for k, v in flat.items():
+        if ".abort_reasons." in k and v:
+            reasons[k.rsplit(".", 1)[1]] = v
+        elif ".phases." in k and k.endswith(".ns") and v:
+            phase_ns[k.rsplit(".", 2)[1]] = v
+    parts = []
+    if reasons:
+        name, count = max(reasons.items(), key=lambda kv: kv[1])
+        parts.append(f"{name}×{count}")
+    if phase_ns:
+        name, ns = max(phase_ns.items(), key=lambda kv: kv[1])
+        parts.append(f"{name} {ns / sum(phase_ns.values()):.0%}")
+    return " · ".join(parts)
 
 
 def lower_is_better(metric):
@@ -211,7 +242,7 @@ def main():
                 if changed:
                     for k in changed:
                         rows.append((f"{display} [{k}]", "claim",
-                                     b.get(k), f.get(k), None, True))
+                                     b.get(k), f.get(k), None, True, ""))
                         flagged.append(f"{display} [{k}]")
                 continue
         else:
@@ -228,8 +259,11 @@ def main():
         delta = (fresh_value - base_value) / base_value
         regressed = (delta > args.threshold if lower_is_better(base_metric)
                      else delta < -args.threshold)
+        # Informational only — an abort-mix or phase-share change is never
+        # flagged; it explains a delta, it does not constitute one.
+        info = obs_summary(fresh[name]) if jsonl else ""
         rows.append((display, base_metric, base_value, fresh_value, delta,
-                     regressed))
+                     regressed, info))
         if regressed:
             flagged.append(display)
 
@@ -238,16 +272,16 @@ def main():
     print(f"### Bench diff vs `{os.path.basename(baseline_path)}` "
           f"({len(rows)} compared{claims_note}, "
           f"threshold {args.threshold:.0%})\n")
-    print("| benchmark | metric | baseline | fresh | delta | |")
-    print("| --- | --- | ---: | ---: | ---: | --- |")
-    for name, metric, base_value, fresh_value, delta, regressed in rows:
+    print("| benchmark | metric | baseline | fresh | delta | abort/phase | |")
+    print("| --- | --- | ---: | ---: | ---: | --- | --- |")
+    for name, metric, base_value, fresh_value, delta, regressed, info in rows:
         mark = "🔴 regression" if regressed else ""
         if metric == "claim":
             print(f"| `{name}` | claim | {base_value} | {fresh_value} | "
-                  f"changed | 🔴 claim changed |")
+                  f"changed | | 🔴 claim changed |")
             continue
         print(f"| `{name}` | {metric} | {base_value:.3g} | {fresh_value:.3g} "
-              f"| {delta:+.1%} | {mark} |")
+              f"| {delta:+.1%} | {info} | {mark} |")
     print()
     if skipped:
         # A pair dropped from the table must not read as "no regression".

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/profile.hpp"
+#include "obs/taxonomy.hpp"
 #include "runtime/assert.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_registry.hpp"
@@ -297,6 +299,12 @@ class TmStatsMixin {
     s.writes = writes_.read();
     s.cm_backoffs = cm_backoffs_.read();
     s.victim_kills = victim_kills_.read();
+#if OFTM_OBS
+    for (std::size_t i = 0; i < obs::kNumAbortReasons; ++i) {
+      s.abort_reason[i] = obs_.reasons().read(i);
+    }
+    obs_.collect(s.phase_ns, s.phase_count, s.hot_vars);
+#endif
     return s;
   }
 
@@ -308,9 +316,46 @@ class TmStatsMixin {
     writes_.reset();
     cm_backoffs_.reset();
     victim_kills_.reset();
+    OFTM_OBS_ONLY(obs_.reset();)
   }
 
  protected:
+  // Abort funnels: every abort a backend counts goes through exactly one
+  // of these, so the per-reason attribution can never drift from the
+  // aggregate counters (TxStats::check_abort_reasons pins the sum).
+
+  // An abort the program asked for via tryA. The reason comes from the
+  // thread's pending hint: TxView::retry() stamps kExplicitRetry before
+  // calling down; a bare tryA defaults to kUserRequested.
+  void count_requested_abort() {
+    aborts_.add();
+#if OFTM_OBS
+    const obs::AbortReason r = obs::take_abort_hint();
+    obs_.reasons().add(r);
+    obs::note_last_abort(r);
+#endif
+  }
+
+  // An abort the TM forced, with its cause and — when one location is
+  // blamable — the contended key (TVarId, stripe index, word key) for
+  // the conflict heat map.
+  void count_forced_abort(obs::AbortReason reason,
+                          std::uint64_t key = obs::kNoKey) {
+    static_cast<void>(reason);
+    static_cast<void>(key);
+    aborts_.add();
+    forced_aborts_.add();
+#if OFTM_OBS
+    obs_.reasons().add(reason);
+    obs::note_last_abort(reason);
+    if (key != obs::kNoKey) obs_.cell().heat.hit(key);
+#endif
+  }
+
+  // Once per begun transaction: elects (or not) this transaction for
+  // phase-interval sampling. Backends call it from prepare().
+  void obs_tx_begin() { OFTM_OBS_ONLY(obs::tick_tx_sample();) }
+
   runtime::StripedCounter commits_;
   runtime::StripedCounter aborts_;
   runtime::StripedCounter forced_aborts_;
@@ -318,6 +363,12 @@ class TmStatsMixin {
   runtime::StripedCounter writes_;
   runtime::StripedCounter cm_backoffs_;
   runtime::StripedCounter victim_kills_;
+#if OFTM_OBS
+  // Phase histograms, heat map and reason counters for this TM instance.
+  // Mutable: collect_stats() is const but materializes nothing; the
+  // recording paths go through the protected helpers above.
+  mutable obs::TmObs obs_;
+#endif
 };
 
 }  // namespace oftm::core

@@ -205,12 +205,15 @@ class Dstm final : public core::TransactionalMemory,
     if (tx.status() != core::TxStatus::kActive) return std::nullopt;
 
     // Own pending write?
-    for (const auto& w : tx.writes_) {
-      if (w.x == x) return w.loc->new_val.load(std::memory_order_relaxed);
-    }
-    // Cached snapshot read? (Repeating it keeps the snapshot consistent.)
-    for (const auto& r : tx.reads_) {
-      if (r.x == x) return r.val;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kReadLookup);
+      for (const auto& w : tx.writes_) {
+        if (w.x == x) return w.loc->new_val.load(std::memory_order_relaxed);
+      }
+      // Cached snapshot read? (Repeating it keeps the snapshot consistent.)
+      for (const auto& r : tx.reads_) {
+        if (r.x == x) return r.val;
+      }
     }
 
     typename P::Backoff backoff;
@@ -223,10 +226,13 @@ class Dstm final : public core::TransactionalMemory,
           return std::nullopt;
         case Resolve::kRetry:
           if (tx.status() != core::TxStatus::kActive) {
-            on_forced_abort(tx);
+            on_forced_abort(tx, x);
             return std::nullopt;
           }
-          backoff.pause();
+          {
+            OFTM_OBS_PHASE(obs_, obs::Phase::kBackoff);
+            backoff.pause();
+          }
           continue;
         case Resolve::kResolved:
           break;
@@ -234,7 +240,7 @@ class Dstm final : public core::TransactionalMemory,
       if (options_.visible_reads) register_reader(tx, x);
       tx.reads_.push_back({x, loc, value});
       if (!validate(tx)) {
-        abort_self(tx);
+        abort_self(tx, obs::AbortReason::kReadValidation, x);
         return std::nullopt;
       }
       cm_->on_open(tx.cm_tid_);
@@ -262,6 +268,7 @@ class Dstm final : public core::TransactionalMemory,
 
     typename P::Backoff backoff;
     int attempt = 0;
+    OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);  // ownership acquisition
     for (;;) {
       Locator* loc = slots_[x].value.load(std::memory_order_acquire);
       core::Value value;
@@ -270,10 +277,13 @@ class Dstm final : public core::TransactionalMemory,
           return false;
         case Resolve::kRetry:
           if (tx.status() != core::TxStatus::kActive) {
-            on_forced_abort(tx);
+            on_forced_abort(tx, x);
             return false;
           }
-          backoff.pause();
+          {
+            OFTM_OBS_PHASE(obs_, obs::Phase::kBackoff);
+            backoff.pause();
+          }
           continue;
         case Resolve::kResolved:
           break;
@@ -290,7 +300,7 @@ class Dstm final : public core::TransactionalMemory,
         for (auto& r : tx.reads_) {
           if (r.x == x) {
             if (r.seen != loc) {
-              abort_self(tx);
+              abort_self(tx, obs::AbortReason::kReadValidation, x);
               return false;
             }
             r.seen = mine;
@@ -300,7 +310,7 @@ class Dstm final : public core::TransactionalMemory,
         tx.writes_.push_back({x, mine});
         cm_->on_open(tx.cm_tid_);
         if (!validate(tx)) {
-          abort_self(tx);
+          abort_self(tx, obs::AbortReason::kReadValidation, x);
           return false;
         }
         return true;
@@ -313,7 +323,7 @@ class Dstm final : public core::TransactionalMemory,
     auto& tx = txn_cast(t);
     [[maybe_unused]] typename P::Reclaimer::Guard guard;
     if (!validate(tx)) {
-      abort_self(tx);
+      abort_self(tx, obs::AbortReason::kReadValidation);
       return false;
     }
     core::TxStatus expected = core::TxStatus::kActive;
@@ -337,7 +347,7 @@ class Dstm final : public core::TransactionalMemory,
     core::TxStatus expected = core::TxStatus::kActive;
     if (tx.desc_->status.compare_exchange_strong(
             expected, core::TxStatus::kAborted, std::memory_order_acq_rel)) {
-      aborts_.add();  // requested, not forceful
+      count_requested_abort();
       cm_->on_abort(tx.cm_tid_);
     }
     release_visible(tx);
@@ -406,6 +416,7 @@ class Dstm final : public core::TransactionalMemory,
   // necessity — locators may outlive the transaction that installed them
   // (the paper's shared-descriptor base object, Theorem 13).
   void prepare(Txn& tx) {
+    obs_tx_begin();
     finish_descriptor(tx);
     tx.tm_ = this;
     tx.desc_ = new TxDesc;
@@ -455,7 +466,7 @@ class Dstm final : public core::TransactionalMemory,
     c.self_tx = tx.desc_->id;
     c.victim_tx = loc->owner->id;
     c.attempt = attempt;
-    switch (cm_->on_conflict(c)) {
+    switch (cm_->decide(c)) {
       case cm::Decision::kAbortVictim: {
         core::TxStatus expected = core::TxStatus::kActive;
         if (loc->owner->status.compare_exchange_strong(
@@ -478,7 +489,7 @@ class Dstm final : public core::TransactionalMemory,
         ++attempt;
         return Resolve::kRetry;
       case cm::Decision::kAbortSelf:
-        abort_self(tx);
+        abort_self(tx, obs::AbortReason::kCmKill, x);
         return Resolve::kSelfAborted;
     }
     return Resolve::kRetry;  // unreachable
@@ -489,6 +500,7 @@ class Dstm final : public core::TransactionalMemory,
   // is recorded only once its resolution is stable, and resolved locators
   // never change value.
   bool validate(Txn& tx) {
+    OFTM_OBS_PHASE(obs_, obs::Phase::kValidation);
     for (const auto& r : tx.reads_) {
       if (slots_[r.x].value.load(std::memory_order_acquire) != r.seen) {
         return false;
@@ -497,19 +509,20 @@ class Dstm final : public core::TransactionalMemory,
     return tx.status() != core::TxStatus::kAborted;
   }
 
-  void abort_self(Txn& tx) {
+  void abort_self(Txn& tx, obs::AbortReason reason,
+                  std::uint64_t key = obs::kNoKey) {
     core::TxStatus expected = core::TxStatus::kActive;
     tx.desc_->status.compare_exchange_strong(
         expected, core::TxStatus::kAborted, std::memory_order_acq_rel);
-    aborts_.add();
-    forced_aborts_.add();  // not requested via tryA
+    count_forced_abort(reason, key);  // not requested via tryA
     cm_->on_abort(tx.cm_tid_);
     release_visible(tx);
   }
 
-  void on_forced_abort(Txn& tx) {
-    aborts_.add();
-    forced_aborts_.add();
+  // Our status CAS was beaten by another process (a contention-manager
+  // kill, or a visible-reads sweep): account the forced abort.
+  void on_forced_abort(Txn& tx, std::uint64_t key = obs::kNoKey) {
+    count_forced_abort(obs::AbortReason::kCmKill, key);
     cm_->on_abort(tx.cm_tid_);
     release_visible(tx);
   }

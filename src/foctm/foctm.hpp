@@ -186,8 +186,7 @@ class Foctm final : public core::TransactionalMemory,
     }
     // ⊥ (propose aborted under contention) or someone voted us aborted.
     tx.local_status_ = core::TxStatus::kAborted;
-    aborts_.add();
-    forced_aborts_.add();
+    count_forced_abort(obs::AbortReason::kCmKill);
     return false;  // line 33
   }
 
@@ -198,7 +197,7 @@ class Foctm final : public core::TransactionalMemory,
     // `aborted` by the next transaction that meets one of our ownerships;
     // only we could ever propose `committed`, and we never will.
     tx.local_status_ = core::TxStatus::kAborted;
-    aborts_.add();
+    count_requested_abort();
   }
 
   std::size_t num_tvars() const override { return num_tvars_; }
@@ -270,6 +269,7 @@ class Foctm final : public core::TransactionalMemory,
   // (footnote 6). Descriptors are owned by per-thread pools and released
   // at TM destruction.
   void prepare(Txn& tx) {
+    obs_tx_begin();
     auto desc = std::make_unique<TxDesc>();
     desc->id = next_tx_id();
     tx.desc_ = desc.get();
@@ -313,14 +313,21 @@ class Foctm final : public core::TransactionalMemory,
     core::Value state;
 
     bool in_wset = false;
-    for (core::TVarId w : tx.wset_) {
-      if (w == x) {
-        in_wset = true;
-        break;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kReadLookup);
+      for (core::TVarId w : tx.wset_) {
+        if (w == x) {
+          in_wset = true;
+          break;
+        }
       }
     }
 
     if (!in_wset) {                                    // line 9
+      // The version walk doubles as ownership acquisition (lines 13-23):
+      // attribute it to the commit-lock phase like the other backends'
+      // acquire loops.
+      OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);
       std::size_t version = 1;                         // line 10
       state = 0;                                       // line 11 (initial)
       if (options_.use_hints) {
@@ -333,11 +340,15 @@ class Foctm final : public core::TransactionalMemory,
       TxDesc* vcap = var.v_reg.load(std::memory_order_acquire);  // line 12
       for (;;) {                                                 // line 13
         const auto owner_opt = slot(var, version).propose(tx.desc_);
-        if (!owner_opt.has_value()) return forced_abort(tx);     // line 15
+        if (!owner_opt.has_value()) {                            // line 15
+          return forced_abort(tx, obs::AbortReason::kCmKill, x);
+        }
         TxDesc* owner = *owner_opt;
         if (owner != tx.desc_) {                                 // line 16
           const auto s = owner->state.propose(Vote::kAborted);   // line 17
-          if (!s.has_value()) return forced_abort(tx);           // line 18
+          if (!s.has_value()) {                                  // line 18
+            return forced_abort(tx, obs::AbortReason::kCmKill, x);
+          }
           if (*s == Vote::kCommitted) {                          // line 19
             state = owner->tval(x);
           } else {                                               // line 20
@@ -345,7 +356,7 @@ class Foctm final : public core::TransactionalMemory,
           }
         }
         if (var.v_reg.load(std::memory_order_acquire) != vcap) { // line 21
-          return forced_abort(tx);
+          return forced_abort(tx, obs::AbortReason::kSnapshotChanged, x);
         }
         if (owner == tx.desc_) break;                            // line 23
         ++version;                                               // line 22
@@ -359,15 +370,15 @@ class Foctm final : public core::TransactionalMemory,
     }
 
     if (tx.desc_->aborted_flag.load(std::memory_order_acquire)) {  // line 28
-      return forced_abort(tx);
+      return forced_abort(tx, obs::AbortReason::kCmKill, x);
     }
     return state;                                                  // line 29
   }
 
-  std::optional<core::Value> forced_abort(Txn& tx) {
+  std::optional<core::Value> forced_abort(Txn& tx, obs::AbortReason reason,
+                                          std::uint64_t key = obs::kNoKey) {
     tx.local_status_ = core::TxStatus::kAborted;
-    aborts_.add();
-    forced_aborts_.add();
+    count_forced_abort(reason, key);
     return std::nullopt;
   }
 

@@ -114,10 +114,13 @@ class Coarse final : public core::TransactionalMemory,
   void try_abort(core::Transaction& t) override {
     auto& tx = txn_cast(t);
     if (tx.status_ != core::TxStatus::kActive) return;
-    undo_writes(tx);
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kWriteBack);
+      undo_writes(tx);
+    }
     tx.status_ = core::TxStatus::kAborted;
     release(tx);
-    aborts_.add();
+    count_requested_abort();
   }
 
   std::size_t num_tvars() const override { return num_tvars_; }
@@ -147,6 +150,7 @@ class Coarse final : public core::TransactionalMemory,
   // still holds the lock (on this very thread) — finish it first or the
   // acquisition below would self-deadlock.
   void prepare(Txn& tx) {
+    obs_tx_begin();
     if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
       undo_writes(tx);
       tx.status_ = core::TxStatus::kAborted;  // completed, not counted
@@ -156,6 +160,7 @@ class Coarse final : public core::TransactionalMemory,
     tx.id_ = next_tx_id();
     tx.undo_.clear();
     typename P::Backoff backoff;
+    OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);
     for (;;) {
       bool expected = false;
       if (lock_.value.compare_exchange_strong(expected, true,
@@ -163,6 +168,7 @@ class Coarse final : public core::TransactionalMemory,
         break;
       }
       cm_backoffs_.add();
+      OFTM_OBS_PHASE(obs_, obs::Phase::kBackoff);
       backoff.pause();
     }
     tx.status_ = core::TxStatus::kActive;

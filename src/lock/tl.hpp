@@ -106,8 +106,11 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
     OFTM_ASSERT(x < num_tvars_);
     if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
 
-    for (const auto& w : tx.writes_) {
-      if (w.x == x) return w.value;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kReadLookup);
+      for (const auto& w : tx.writes_) {
+        if (w.x == x) return w.value;
+      }
     }
 
     typename P::Backoff backoff;
@@ -125,7 +128,7 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
             if (r.x == x) {
               known = true;
               if (r.version != LockWord::version(w1)) {
-                rollback_abort(tx);
+                rollback_abort(tx, obs::AbortReason::kReadValidation, x);
                 return std::nullopt;
               }
               break;
@@ -135,7 +138,7 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
             tx.reads_.push_back({x, LockWord::version(w1)});
           }
           if (!validate(tx)) {
-            rollback_abort(tx);
+            rollback_abort(tx, obs::AbortReason::kReadValidation);
             return std::nullopt;
           }
           return v;
@@ -145,10 +148,11 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
         // A (possibly suspended) lock holder is in the way; lock-based TMs
         // cannot revoke it — we sacrifice ourselves. This is the
         // non-obstruction-freedom the paper contrasts OFTMs against.
-        rollback_abort(tx);
+        rollback_abort(tx, obs::AbortReason::kLockTimeout, x);
         return std::nullopt;
       }
       cm_backoffs_.add();
+      OFTM_OBS_PHASE(obs_, obs::Phase::kBackoff);
       backoff.pause();
     }
   }
@@ -168,6 +172,7 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
 
     typename P::Backoff backoff;
     Slot& s = slots_[x];
+    OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);
     for (int spin = 0;; ++spin) {
       std::uint64_t w1 = s.lock.load(std::memory_order_acquire);
       if (!LockWord::locked(w1)) {
@@ -180,23 +185,24 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
           for (const auto& r : tx.reads_) {
             if (r.x == x && r.version != LockWord::version(w1)) {
               s.lock.store(w1, std::memory_order_release);  // undo lock
-              rollback_abort(tx);
+              rollback_abort(tx, obs::AbortReason::kReadValidation, x);
               return false;
             }
           }
           tx.writes_.push_back({x, LockWord::version(w1), v});
           if (!validate(tx)) {
-            rollback_abort(tx);
+            rollback_abort(tx, obs::AbortReason::kReadValidation);
             return false;
           }
           return true;
         }
       }
       if (spin >= options_.patience) {
-        rollback_abort(tx);
+        rollback_abort(tx, obs::AbortReason::kLockTimeout, x);
         return false;
       }
       cm_backoffs_.add();
+      OFTM_OBS_PHASE(obs_, obs::Phase::kBackoff);
       backoff.pause();
     }
   }
@@ -205,15 +211,18 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
     auto& tx = txn_cast(t);
     if (tx.status_ != core::TxStatus::kActive) return false;
     if (!validate(tx)) {
-      rollback_abort(tx);
+      rollback_abort(tx, obs::AbortReason::kReadValidation);
       return false;
     }
     // Write back and release: bump each version (2PL shrink phase).
-    for (const auto& w : tx.writes_) {
-      Slot& s = slots_[w.x];
-      s.value.store(w.value, std::memory_order_relaxed);
-      s.lock.store(LockWord::pack(w.base_version + 1, false),
-                   std::memory_order_release);
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kWriteBack);
+      for (const auto& w : tx.writes_) {
+        Slot& s = slots_[w.x];
+        s.value.store(w.value, std::memory_order_relaxed);
+        s.lock.store(LockWord::pack(w.base_version + 1, false),
+                     std::memory_order_release);
+      }
     }
     tx.status_ = core::TxStatus::kCommitted;
     commits_.add();
@@ -225,7 +234,7 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
     if (tx.status_ != core::TxStatus::kActive) return;
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();  // requested, not forceful
+    count_requested_abort();
   }
 
   std::size_t num_tvars() const override { return num_tvars_; }
@@ -256,6 +265,7 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
   // active still holds its encounter-time locks — release them first
   // (rollback is idempotent: it clears the write set it walks).
   void prepare(Txn& tx) {
+    obs_tx_begin();
     if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
       rollback(tx);
     }
@@ -272,6 +282,7 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
   }
 
   bool validate(Txn& tx) {
+    OFTM_OBS_PHASE(obs_, obs::Phase::kValidation);
     for (const auto& r : tx.reads_) {
       bool own = false;
       for (const auto& w : tx.writes_) {
@@ -299,11 +310,11 @@ class Tl final : public core::TransactionalMemory, private core::TmStatsMixin {
     tx.writes_.clear();
   }
 
-  void rollback_abort(Txn& tx) {
+  void rollback_abort(Txn& tx, obs::AbortReason reason,
+                      std::uint64_t key = obs::kNoKey) {
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
-    forced_aborts_.add();
+    count_forced_abort(reason, key);
   }
 
   const TlOptions options_;

@@ -101,8 +101,11 @@ class Tl2 final : public core::TransactionalMemory,
     OFTM_ASSERT(x < num_tvars_);
     if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
 
-    for (const auto& w : tx.writes_) {
-      if (w.x == x) return w.value;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kReadLookup);
+      for (const auto& w : tx.writes_) {
+        if (w.x == x) return w.value;
+      }
     }
 
     Slot& s = slots_[x];
@@ -120,7 +123,7 @@ class Tl2 final : public core::TransactionalMemory,
       if (pass == 0 && options_.rv_extension && try_extend(tx)) continue;
       break;
     }
-    abort_forced(tx);
+    abort_forced(tx, obs::AbortReason::kReadValidation, x);
     return std::nullopt;
   }
 
@@ -159,27 +162,32 @@ class Tl2 final : public core::TransactionalMemory,
     base.clear();
     base.reserve(tx.writes_.size());
     typename P::Backoff backoff;
-    for (std::size_t i = 0; i < tx.writes_.size(); ++i) {
-      Slot& s = slots_[tx.writes_[i].x];
-      int spin = 0;
-      for (;;) {
-        std::uint64_t w = s.lock.load(std::memory_order_acquire);
-        if (!LockWord::locked(w)) {
-          const std::uint64_t locked =
-              LockWord::pack(LockWord::version(w), true);
-          if (s.lock.compare_exchange_strong(w, locked,
-                                             std::memory_order_acq_rel)) {
-            base.push_back(LockWord::version(w));
-            break;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);
+      for (std::size_t i = 0; i < tx.writes_.size(); ++i) {
+        Slot& s = slots_[tx.writes_[i].x];
+        int spin = 0;
+        for (;;) {
+          std::uint64_t w = s.lock.load(std::memory_order_acquire);
+          if (!LockWord::locked(w)) {
+            const std::uint64_t locked =
+                LockWord::pack(LockWord::version(w), true);
+            if (s.lock.compare_exchange_strong(w, locked,
+                                               std::memory_order_acq_rel)) {
+              base.push_back(LockWord::version(w));
+              break;
+            }
           }
+          if (++spin > options_.lock_patience) {
+            unlock_prefix(tx, base, i);
+            abort_forced(tx, obs::AbortReason::kLockTimeout,
+                         tx.writes_[i].x);
+            return false;
+          }
+          cm_backoffs_.add();
+          OFTM_OBS_PHASE(obs_, obs::Phase::kBackoff);
+          backoff.pause();
         }
-        if (++spin > options_.lock_patience) {
-          unlock_prefix(tx, base, i);
-          abort_forced(tx);
-          return false;
-        }
-        cm_backoffs_.add();
-        backoff.pause();
       }
     }
 
@@ -189,6 +197,7 @@ class Tl2 final : public core::TransactionalMemory,
 
     // Validate the read set unless nobody could have committed in between.
     if (tx.rv_ + 1 != wv) {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kValidation);
       for (const auto& r : tx.reads_) {
         bool own = false;
         for (const auto& w : tx.writes_) {
@@ -201,17 +210,20 @@ class Tl2 final : public core::TransactionalMemory,
             slots_[r.x].lock.load(std::memory_order_acquire);
         if ((LockWord::locked(w) && !own) || LockWord::version(w) > tx.rv_) {
           unlock_prefix(tx, base, tx.writes_.size());
-          abort_forced(tx);
+          abort_forced(tx, obs::AbortReason::kReadValidation, r.x);
           return false;
         }
       }
     }
 
     // Write back and release with the commit version.
-    for (std::size_t i = 0; i < tx.writes_.size(); ++i) {
-      Slot& s = slots_[tx.writes_[i].x];
-      s.value.store(tx.writes_[i].value, std::memory_order_relaxed);
-      s.lock.store(LockWord::pack(wv, false), std::memory_order_release);
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kWriteBack);
+      for (std::size_t i = 0; i < tx.writes_.size(); ++i) {
+        Slot& s = slots_[tx.writes_[i].x];
+        s.value.store(tx.writes_[i].value, std::memory_order_relaxed);
+        s.lock.store(LockWord::pack(wv, false), std::memory_order_release);
+      }
     }
     tx.status_ = core::TxStatus::kCommitted;
     commits_.add();
@@ -222,7 +234,7 @@ class Tl2 final : public core::TransactionalMemory,
     auto& tx = txn_cast(t);
     if (tx.status_ != core::TxStatus::kActive) return;
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
+    count_requested_abort();
   }
 
   std::size_t num_tvars() const override { return num_tvars_; }
@@ -253,6 +265,7 @@ class Tl2 final : public core::TransactionalMemory,
   // hold no locks before try_commit (and try_commit always releases), so
   // an abandoned predecessor needs no cleanup.
   void prepare(Txn& tx) {
+    obs_tx_begin();
     // The shared-clock read that makes TL2 non-strictly-DAP.
     tx.rv_ = clock_.value.load(std::memory_order_acquire);
     tx.id_ = next_tx_id();
@@ -270,6 +283,7 @@ class Tl2 final : public core::TransactionalMemory,
   // *new* clock value — the snapshot simply turns out to be fresher than
   // first assumed.
   bool try_extend(Txn& tx) {
+    OFTM_OBS_PHASE(obs_, obs::Phase::kValidation);
     const std::uint64_t new_rv = clock_.value.load(std::memory_order_acquire);
     if (new_rv <= tx.rv_) return false;
     for (const auto& r : tx.reads_) {
@@ -290,10 +304,10 @@ class Tl2 final : public core::TransactionalMemory,
     }
   }
 
-  void abort_forced(Txn& tx) {
+  void abort_forced(Txn& tx, obs::AbortReason reason,
+                    std::uint64_t key = obs::kNoKey) {
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
-    forced_aborts_.add();
+    count_forced_abort(reason, key);
   }
 
   const Tl2Options options_;

@@ -130,6 +130,7 @@ class Tl2Region final : private core::TmStatsMixin {
   // abandoned active predecessor first: unlike the boxed TL2, an active
   // region transaction owns resources (private blocks, the epoch pin).
   void prepare(Txn& tx) {
+    obs_tx_begin();
     if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
       rollback_abort(tx);
     }
@@ -149,13 +150,16 @@ class Tl2Region final : private core::TmStatsMixin {
     OFTM_ASSERT(heap_.contains(addr));
     if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
 
-    if (const core::Value* w = tx.writes_.find(addr)) return *w;
-    if (tx.owns(addr, heap_)) {
-      // Private block: nobody else can touch it, and its stripes carry
-      // whatever versions the address range's previous life left behind —
-      // bypass validation entirely.
-      return std::atomic_ref<const core::Value>(*addr).load(
-          std::memory_order_relaxed);
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kReadLookup);
+      if (const core::Value* w = tx.writes_.find(addr)) return *w;
+      if (tx.owns(addr, heap_)) {
+        // Private block: nobody else can touch it, and its stripes carry
+        // whatever versions the address range's previous life left behind —
+        // bypass validation entirely.
+        return std::atomic_ref<const core::Value>(*addr).load(
+            std::memory_order_relaxed);
+      }
     }
 
     const std::size_t si = stripes_.index_of(addr);
@@ -171,7 +175,7 @@ class Tl2Region final : private core::TmStatsMixin {
           {static_cast<std::uint32_t>(si), LockWord::version(w1)});
       return v;
     }
-    abort_forced(tx);
+    abort_forced(tx, obs::AbortReason::kReadValidation, si);
     return std::nullopt;
   }
 
@@ -236,27 +240,33 @@ class Tl2Region final : private core::TmStatsMixin {
     locked.clear();
     base.clear();
     core::HwPlatform::Backoff backoff;
-    for (const auto& e : cs) {
-      if (!locked.empty() && locked.back() == e.stripe) continue;  // dup
-      auto& s = stripes_.stripe(e.stripe);
-      int spin = 0;
-      for (;;) {
-        std::uint64_t w = s.load(std::memory_order_acquire);
-        if (!LockWord::locked(w)) {
-          const std::uint64_t held = LockWord::pack(LockWord::version(w), true);
-          if (s.compare_exchange_strong(w, held, std::memory_order_acq_rel)) {
-            locked.push_back(e.stripe);
-            base.push_back(LockWord::version(w));
-            break;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);
+      for (const auto& e : cs) {
+        if (!locked.empty() && locked.back() == e.stripe) continue;  // dup
+        auto& s = stripes_.stripe(e.stripe);
+        int spin = 0;
+        for (;;) {
+          std::uint64_t w = s.load(std::memory_order_acquire);
+          if (!LockWord::locked(w)) {
+            const std::uint64_t held =
+                LockWord::pack(LockWord::version(w), true);
+            if (s.compare_exchange_strong(w, held,
+                                          std::memory_order_acq_rel)) {
+              locked.push_back(e.stripe);
+              base.push_back(LockWord::version(w));
+              break;
+            }
           }
+          if (++spin > options_.lock_patience) {
+            unlock_stripes(tx, base, locked.size());
+            abort_forced(tx, obs::AbortReason::kLockTimeout, e.stripe);
+            return false;
+          }
+          cm_backoffs_.add();
+          OFTM_OBS_PHASE(obs_, obs::Phase::kBackoff);
+          backoff.pause();
         }
-        if (++spin > options_.lock_patience) {
-          unlock_stripes(tx, base, locked.size());
-          abort_forced(tx);
-          return false;
-        }
-        cm_backoffs_.add();
-        backoff.pause();
       }
     }
 
@@ -268,6 +278,7 @@ class Tl2Region final : private core::TmStatsMixin {
     // "Own" is stripe membership: a stripe this transaction locked is
     // allowed to appear locked.
     if (tx.rv_ + 1 != wv) {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kValidation);
       for (const auto& r : tx.reads_) {
         const bool own =
             std::binary_search(locked.begin(), locked.end(), r.stripe);
@@ -275,20 +286,23 @@ class Tl2Region final : private core::TmStatsMixin {
             stripes_.stripe(r.stripe).load(std::memory_order_acquire);
         if ((LockWord::locked(w) && !own) || LockWord::version(w) > tx.rv_) {
           unlock_stripes(tx, base, locked.size());
-          abort_forced(tx);
+          abort_forced(tx, obs::AbortReason::kReadValidation, r.stripe);
           return false;
         }
       }
     }
 
     // Write back, then release every stripe with the commit version.
-    for (const auto& e : cs) {
-      std::atomic_ref<core::Value>(*e.addr).store(e.value,
-                                                  std::memory_order_relaxed);
-    }
-    for (std::uint32_t si : locked) {
-      stripes_.stripe(si).store(LockWord::pack(wv, false),
-                                std::memory_order_release);
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kWriteBack);
+      for (const auto& e : cs) {
+        std::atomic_ref<core::Value>(*e.addr).store(
+            e.value, std::memory_order_relaxed);
+      }
+      for (std::uint32_t si : locked) {
+        stripes_.stripe(si).store(LockWord::pack(wv, false),
+                                  std::memory_order_release);
+      }
     }
     settle_commit(tx);
     return true;
@@ -298,7 +312,7 @@ class Tl2Region final : private core::TmStatsMixin {
     if (tx.status_ != core::TxStatus::kActive) return;
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
+    count_requested_abort();
   }
 
   core::Value read_quiescent(const core::Value* addr) const {
@@ -344,17 +358,19 @@ class Tl2Region final : private core::TmStatsMixin {
     tx.guard_.reset();
   }
 
+  // Abandoned-handle / re-arm cleanup: the abort was requested by the
+  // owner's side (dropping the handle), not forced by a conflict.
   void rollback_abort(Txn& tx) {
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
+    count_requested_abort();
   }
 
-  void abort_forced(Txn& tx) {
+  void abort_forced(Txn& tx, obs::AbortReason reason,
+                    std::uint64_t key = obs::kNoKey) {
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
-    forced_aborts_.add();
+    count_forced_abort(reason, key);
   }
 
   void unlock_stripes(Txn& tx, const std::vector<std::uint64_t>& base,

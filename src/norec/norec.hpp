@@ -198,10 +198,13 @@ class Norec final : public core::TransactionalMemory,
 
     // Read-your-own-writes from the redo log. With the Bloom ablation a
     // definite filter miss skips the probe.
-    if (!tx.writes_.empty() &&
-        (!options_.bloom_reads ||
-         (tx.write_filter_ & bloom_mask(x)) == bloom_mask(x))) {
-      if (const core::Value* w = tx.writes_.find(x)) return *w;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kReadLookup);
+      if (!tx.writes_.empty() &&
+          (!options_.bloom_reads ||
+           (tx.write_filter_ & bloom_mask(x)) == bloom_mask(x))) {
+        if (const core::Value* w = tx.writes_.find(x)) return *w;
+      }
     }
 
     // Invisible read with post-validation: the value is consistent iff the
@@ -211,7 +214,7 @@ class Norec final : public core::TransactionalMemory,
     core::Value v = slots_[x].value.load(std::memory_order_seq_cst);
     while (seqlock_.value.load(std::memory_order_seq_cst) != tx.snapshot_) {
       if (!revalidate(tx)) {
-        abort_forced(tx);
+        abort_forced(tx, obs::AbortReason::kReadValidation, x);
         return std::nullopt;
       }
       v = slots_[x].value.load(std::memory_order_seq_cst);
@@ -248,22 +251,33 @@ class Norec final : public core::TransactionalMemory,
     // snapshot — the livelock-freedom witness — so revalidate by value and
     // retry from the newer snapshot.
     std::uint64_t s = tx.snapshot_;
-    while (!seqlock_.value.compare_exchange_strong(
-        s, s + 1, std::memory_order_seq_cst)) {
-      cm_backoffs_.add();
-      if (!revalidate(tx)) {
-        abort_forced(tx);
-        return false;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);
+      while (!seqlock_.value.compare_exchange_strong(
+          s, s + 1, std::memory_order_seq_cst)) {
+        cm_backoffs_.add();
+        core::TVarId culprit = core::kInvalidTVar;
+        if (!revalidate(tx, &culprit)) {
+          // The seqlock moved (a concurrent commit) and the read set no
+          // longer revalidates at the newer snapshot.
+          abort_forced(tx, obs::AbortReason::kSnapshotChanged,
+                       culprit == core::kInvalidTVar ? obs::kNoKey
+                                                     : culprit);
+          return false;
+        }
+        s = tx.snapshot_;
       }
-      s = tx.snapshot_;
     }
 
     // Lock held (odd value): lazy write-back, then release with the next
     // even value. A stall here blocks everyone — the obstruction-freedom
     // trade this backend exists to quantify.
-    tx.writes_.for_each([&](core::TVarId x, core::Value v) {
-      slots_[x].value.store(v, std::memory_order_seq_cst);
-    });
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kWriteBack);
+      tx.writes_.for_each([&](core::TVarId x, core::Value v) {
+        slots_[x].value.store(v, std::memory_order_seq_cst);
+      });
+    }
     seqlock_.value.store(tx.snapshot_ + 2, std::memory_order_seq_cst);
     tx.status_ = core::TxStatus::kCommitted;
     commits_.add();
@@ -274,7 +288,7 @@ class Norec final : public core::TransactionalMemory,
     auto& tx = txn_cast(t);
     if (tx.status_ != core::TxStatus::kActive) return;
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
+    count_requested_abort();
   }
 
   std::size_t num_tvars() const override { return num_tvars_; }
@@ -304,6 +318,7 @@ class Norec final : public core::TransactionalMemory,
   // allocates. An abandoned active predecessor needs no cleanup here —
   // NOrec transactions hold no protocol resources before commit.
   void prepare(Txn& tx) {
+    obs_tx_begin();
     // Snapshot an even (quiescent) sequence-lock value. All shared-word
     // accesses in this backend are seq_cst: the correctness argument of the
     // sequence-lock protocol is then a statement about the single total
@@ -332,7 +347,8 @@ class Norec final : public core::TransactionalMemory,
   // we looked. On success the transaction adopts the newer snapshot (its
   // reads are consistent *now*, not just at the old time); failure means a
   // conflicting write committed — the only way NOrec ever force-aborts.
-  bool revalidate(Txn& tx) {
+  bool revalidate(Txn& tx, core::TVarId* culprit = nullptr) {
+    OFTM_OBS_PHASE(obs_, obs::Phase::kValidation);
     for (;;) {
       std::uint64_t time = seqlock_.value.load(std::memory_order_seq_cst);
       if (time & 1) {
@@ -342,6 +358,7 @@ class Norec final : public core::TransactionalMemory,
       bool values_match = true;
       for (const auto& r : tx.reads_) {
         if (slots_[r.x].value.load(std::memory_order_seq_cst) != r.value) {
+          if (culprit != nullptr) *culprit = r.x;
           values_match = false;
           break;
         }
@@ -355,10 +372,10 @@ class Norec final : public core::TransactionalMemory,
     }
   }
 
-  void abort_forced(Txn& tx) {
+  void abort_forced(Txn& tx, obs::AbortReason reason,
+                    std::uint64_t key = obs::kNoKey) {
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
-    forced_aborts_.add();
+    count_forced_abort(reason, key);
   }
 
   const NorecOptions options_;

@@ -91,6 +91,7 @@ class NorecRegion final : private core::TmStatsMixin {
   // Re-arm a pooled descriptor, finishing an abandoned active predecessor
   // first (it owns private blocks and the epoch pin).
   void prepare(Txn& tx) {
+    obs_tx_begin();
     if (tx.tm_ != nullptr && tx.status_ == core::TxStatus::kActive) {
       rollback_abort(tx);
     }
@@ -117,13 +118,16 @@ class NorecRegion final : private core::TmStatsMixin {
     OFTM_ASSERT(heap_.contains(addr));
     if (tx.status_ != core::TxStatus::kActive) return std::nullopt;
 
-    if (const core::Value* w = tx.writes_.find(addr)) return *w;
-    if (tx.owns(addr, heap_)) {
-      // Private block: invisible to everyone else, so no snapshot
-      // discipline applies (and it must not enter the read set — its
-      // values may legitimately change in place under this transaction).
-      return std::atomic_ref<const core::Value>(*addr).load(
-          std::memory_order_relaxed);
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kReadLookup);
+      if (const core::Value* w = tx.writes_.find(addr)) return *w;
+      if (tx.owns(addr, heap_)) {
+        // Private block: invisible to everyone else, so no snapshot
+        // discipline applies (and it must not enter the read set — its
+        // values may legitimately change in place under this transaction).
+        return std::atomic_ref<const core::Value>(*addr).load(
+            std::memory_order_relaxed);
+      }
     }
 
     // Invisible read with post-validation, exactly the boxed protocol.
@@ -131,7 +135,8 @@ class NorecRegion final : private core::TmStatsMixin {
         std::memory_order_seq_cst);
     while (seqlock_.value.load(std::memory_order_seq_cst) != tx.snapshot_) {
       if (!revalidate(tx)) {
-        abort_forced(tx);
+        abort_forced(tx, obs::AbortReason::kReadValidation,
+                     reinterpret_cast<std::uintptr_t>(addr));
         return std::nullopt;
       }
       v = std::atomic_ref<const core::Value>(*addr).load(
@@ -182,20 +187,28 @@ class NorecRegion final : private core::TmStatsMixin {
     // witnesses a concurrent commit — revalidate by value and retry from
     // the newer snapshot.
     std::uint64_t s = tx.snapshot_;
-    while (!seqlock_.value.compare_exchange_strong(
-        s, s + 1, std::memory_order_seq_cst)) {
-      cm_backoffs_.add();
-      if (!revalidate(tx)) {
-        abort_forced(tx);
-        return false;
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kCommitLock);
+      while (!seqlock_.value.compare_exchange_strong(
+          s, s + 1, std::memory_order_seq_cst)) {
+        cm_backoffs_.add();
+        std::uint64_t culprit_key = obs::kNoKey;
+        if (!revalidate(tx, &culprit_key)) {
+          abort_forced(tx, obs::AbortReason::kSnapshotChanged, culprit_key);
+          return false;
+        }
+        s = tx.snapshot_;
       }
-      s = tx.snapshot_;
     }
 
     // Lock held (odd): lazy write-back, release with the next even value.
-    tx.writes_.for_each([](core::Value* addr, core::Value v) {
-      std::atomic_ref<core::Value>(*addr).store(v, std::memory_order_seq_cst);
-    });
+    {
+      OFTM_OBS_PHASE(obs_, obs::Phase::kWriteBack);
+      tx.writes_.for_each([](core::Value* addr, core::Value v) {
+        std::atomic_ref<core::Value>(*addr).store(v,
+                                                  std::memory_order_seq_cst);
+      });
+    }
     seqlock_.value.store(tx.snapshot_ + 2, std::memory_order_seq_cst);
     settle_commit(tx);
     return true;
@@ -205,7 +218,7 @@ class NorecRegion final : private core::TmStatsMixin {
     if (tx.status_ != core::TxStatus::kActive) return;
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
+    count_requested_abort();
   }
 
   core::Value read_quiescent(const core::Value* addr) const {
@@ -225,7 +238,8 @@ class NorecRegion final : private core::TmStatsMixin {
 
   // Value-based revalidation over word addresses; identical structure to
   // the boxed backend.
-  bool revalidate(Txn& tx) {
+  bool revalidate(Txn& tx, std::uint64_t* culprit = nullptr) {
+    OFTM_OBS_PHASE(obs_, obs::Phase::kValidation);
     for (;;) {
       std::uint64_t time = seqlock_.value.load(std::memory_order_seq_cst);
       if (time & 1) {
@@ -236,6 +250,9 @@ class NorecRegion final : private core::TmStatsMixin {
       for (const auto& r : tx.reads_) {
         if (std::atomic_ref<const core::Value>(*r.addr).load(
                 std::memory_order_seq_cst) != r.value) {
+          if (culprit != nullptr) {
+            *culprit = reinterpret_cast<std::uintptr_t>(r.addr);
+          }
           values_match = false;
           break;
         }
@@ -272,17 +289,19 @@ class NorecRegion final : private core::TmStatsMixin {
     tx.guard_.reset();
   }
 
+  // Abandoned-handle / re-arm cleanup: requested by the owner's side, not
+  // forced by a conflict.
   void rollback_abort(Txn& tx) {
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
+    count_requested_abort();
   }
 
-  void abort_forced(Txn& tx) {
+  void abort_forced(Txn& tx, obs::AbortReason reason,
+                    std::uint64_t key = obs::kNoKey) {
     rollback(tx);
     tx.status_ = core::TxStatus::kAborted;
-    aborts_.add();
-    forced_aborts_.add();
+    count_forced_abort(reason, key);
   }
 
   core::RegionHeap heap_;

@@ -1,0 +1,51 @@
+// PhaseTimer: cheap per-phase interval timestamps for the obs layer.
+//
+// Hot paths read the TSC raw (a ~10ns instruction, no serialization —
+// phase intervals are statistical, not ordering-bearing) and record tick
+// counts; conversion to nanoseconds happens once, at collect/export time,
+// through a lazily calibrated ticks→ns ratio. Calibrating lazily on the
+// *cold* side matters: the first call sleeps a few milliseconds against
+// steady_clock, which must never happen inside a transaction holding
+// commit locks.
+//
+// Threads are pinned by the workload driver, and modern x86 TSCs are
+// invariant and synchronized across cores; on other architectures
+// now_ticks() falls back to steady_clock nanoseconds (ratio 1.0).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+#include "obs/taxonomy.hpp"
+
+namespace oftm::obs {
+
+inline std::uint64_t now_ticks() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+// Nanoseconds per TSC tick, calibrated once against steady_clock on
+// first use (cold paths only — see header comment). Always > 0.
+double ns_per_tick() noexcept;
+
+inline std::uint64_t ticks_to_ns(std::uint64_t ticks) noexcept {
+  return static_cast<std::uint64_t>(static_cast<double>(ticks) *
+                                    ns_per_tick());
+}
+
+// Calibrated wall-ish timestamp for trace spans (cold/export paths and
+// sampled span boundaries; do not call per-read).
+inline std::uint64_t now_ns() noexcept { return ticks_to_ns(now_ticks()); }
+
+}  // namespace oftm::obs

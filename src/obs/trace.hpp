@@ -1,0 +1,91 @@
+// TraceSink: sampled per-thread transaction-lifecycle rings, exported as
+// Chrome trace_event JSON (loadable in perfetto / chrome://tracing).
+//
+// Activation mirrors the report layer: setting $OFTM_TRACE_FILE enables
+// the sink and names the output file. When the variable is absent the
+// sink is a dead branch — record() returns on one cold bool, nothing is
+// allocated, so the allocation-free guarantees and bench numbers are
+// untouched by merely linking this layer.
+//
+// Each recording thread owns a fixed-capacity ring (capacity from
+// $OFTM_TRACE_RING, default 8192 events); overflow overwrites the oldest
+// events and bumps a drop counter, so a long run exports its tail, never
+// OOMs. Sampling is a per-ring counter stride ($OFTM_TRACE_SAMPLE,
+// default 1 — every attempt): counter-based rather than random so a
+// fixed-seed run retains a deterministic event set (obs_test pins this).
+// Rings are recycled through a free list on thread exit, so repeated
+// runs reuse memory instead of accumulating dead rings.
+//
+// Timestamps are raw TSC ticks at record time, converted to microseconds
+// and rebased to the earliest event at flush() — perfetto gets a trace
+// that starts near t=0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/taxonomy.hpp"
+
+namespace oftm::obs {
+
+enum class SpanKind : std::uint8_t {
+  kCommit = 0,
+  kAbort = 1,
+};
+
+struct TraceEvent {
+  std::uint64_t start_ticks = 0;
+  std::uint64_t dur_ticks = 0;
+  std::uint64_t tx_seq = 0;  // per-worker logical transaction ordinal
+  std::uint32_t attempt = 0;
+  std::uint16_t tid = 0;
+  SpanKind kind = SpanKind::kCommit;
+  AbortReason reason = AbortReason::kUserRequested;  // valid for kAbort
+  const char* backend = nullptr;  // interned; may be null
+};
+
+class TraceSink {
+ public:
+  // Process-wide sink, configured from the environment on first use.
+  static TraceSink& instance();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Record one attempt span into the calling thread's ring (sampled;
+  // no-op when disabled). Never allocates after the thread's first
+  // sampled record.
+  void record(const TraceEvent& e) noexcept;
+
+  // Intern a backend name so events can carry a pointer that outlives
+  // the worker threads (called once per worker, not per event).
+  const char* intern(const std::string& name);
+
+  // Merge every ring, oldest-first per ring, sorted by start time.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::uint64_t dropped() const noexcept;
+
+  // Rewrite the configured trace file with the full current snapshot as
+  // Chrome trace JSON. No-op when disabled or no path is configured.
+  void flush();
+
+  // Test hooks: (re)configure in place — enable without the env var,
+  // with explicit capacity/stride and an optional output path — and
+  // clear all rings.
+  void configure(std::size_t ring_capacity, std::uint64_t sample_stride,
+                 std::string path);
+  void reset();
+
+  struct Impl;  // public only for the thread-exit ring-recycling hook
+
+ private:
+  TraceSink();
+  Impl* impl_;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace oftm::obs

@@ -1,6 +1,9 @@
 #include "runtime/stats.hpp"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "runtime/assert.hpp"
 
 namespace oftm::runtime {
 
@@ -37,16 +40,56 @@ std::string TxStats::to_string() const {
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      "commits=%llu aborts=%llu (forced=%llu, ratio=%.3f) reads=%llu "
-      "writes=%llu backoffs=%llu kills=%llu",
+      "commits=%llu aborts=%llu (forced=%llu, ratio=%.3f, forced_ratio=%.3f)"
+      " reads=%llu writes=%llu backoffs=%llu kills=%llu",
       static_cast<unsigned long long>(commits),
       static_cast<unsigned long long>(aborts),
       static_cast<unsigned long long>(forced_aborts), abort_ratio(),
-      static_cast<unsigned long long>(reads),
+      forced_abort_ratio(), static_cast<unsigned long long>(reads),
       static_cast<unsigned long long>(writes),
       static_cast<unsigned long long>(cm_backoffs),
       static_cast<unsigned long long>(victim_kills));
-  return buf;
+  std::string out = buf;
+  if (abort_reason_total() != 0) {
+    out += " reasons={";
+    bool first = true;
+    for (std::size_t i = 0; i < obs::kNumAbortReasons; ++i) {
+      if (abort_reason[i] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "%s%s=%llu", first ? "" : " ",
+                    obs::abort_reason_name(i),
+                    static_cast<unsigned long long>(abort_reason[i]));
+      out += buf;
+      first = false;
+    }
+    out += "}";
+  }
+  return out;
+}
+
+void TxStats::check_abort_reasons() const {
+#if OFTM_OBS
+  OFTM_ASSERT_MSG(abort_reasons_consistent(),
+                  "abort-reason counters do not sum to TxStats::aborts");
+#endif
+}
+
+void TxStats::merge_hot_vars(const std::vector<obs::HotVar>& other) {
+  for (const obs::HotVar& h : other) {
+    bool found = false;
+    for (obs::HotVar& mine : hot_vars) {
+      if (mine.key == h.key) {
+        mine.hits += h.hits;
+        found = true;
+        break;
+      }
+    }
+    if (!found) hot_vars.push_back(h);
+  }
+  std::sort(hot_vars.begin(), hot_vars.end(),
+            [](const obs::HotVar& a, const obs::HotVar& b) {
+              return a.hits != b.hits ? a.hits > b.hits : a.key < b.key;
+            });
+  if (hot_vars.size() > 8) hot_vars.resize(8);
 }
 
 }  // namespace oftm::runtime

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/taxonomy.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/thread_registry.hpp"
 
@@ -90,6 +91,13 @@ class Log2Histogram {
 };
 
 // Aggregated per-run STM statistics, merged across worker threads.
+//
+// The obs-shaped fields (abort_reason, phase_ns/phase_count, hot_vars)
+// are present regardless of OFTM_OBS so report consumers see a stable
+// schema; with the gate off they simply stay zero/empty. Invariant with
+// the gate on: the abort_reason counts sum exactly to `aborts` — every
+// backend funnels each abort through exactly one attributed counter
+// (check_abort_reasons() asserts it at quiescent points).
 struct TxStats {
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;           // application-visible abort events
@@ -99,7 +107,18 @@ struct TxStats {
   std::uint64_t cm_backoffs = 0;      // contention-manager pauses
   std::uint64_t victim_kills = 0;     // times we aborted somebody else
 
-  TxStats& operator+=(const TxStats& o) noexcept {
+  // Abort attribution: aborts partitioned by obs::AbortReason.
+  std::uint64_t abort_reason[obs::kNumAbortReasons] = {};
+  // Phase profile: sampled time (ns) and interval count per obs::Phase.
+  std::uint64_t phase_ns[obs::kNumPhases] = {};
+  std::uint64_t phase_count[obs::kNumPhases] = {};
+  // Merged conflict heat map, heaviest first.
+  std::vector<obs::HotVar> hot_vars;
+
+  // Merge another thread's / run's view into this one. `merge` is the
+  // canonical name; operator+= stays as the operator spelling existing
+  // call sites use.
+  TxStats& merge(const TxStats& o) {
     commits += o.commits;
     aborts += o.aborts;
     forced_aborts += o.forced_aborts;
@@ -107,15 +126,54 @@ struct TxStats {
     writes += o.writes;
     cm_backoffs += o.cm_backoffs;
     victim_kills += o.victim_kills;
+    for (std::size_t i = 0; i < obs::kNumAbortReasons; ++i) {
+      abort_reason[i] += o.abort_reason[i];
+    }
+    for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+      phase_ns[i] += o.phase_ns[i];
+      phase_count[i] += o.phase_count[i];
+    }
+    merge_hot_vars(o.hot_vars);
     return *this;
   }
+
+  TxStats& operator+=(const TxStats& o) { return merge(o); }
 
   double abort_ratio() const noexcept {
     const double total = static_cast<double>(commits + aborts);
     return total == 0 ? 0.0 : static_cast<double>(aborts) / total;
   }
 
+  // Share of aborts the TM forced (vs. requested via tryA): the
+  // conflict-pressure signal, separated from programmatic retries.
+  double forced_abort_ratio() const noexcept {
+    return aborts == 0
+               ? 0.0
+               : static_cast<double>(forced_aborts) /
+                     static_cast<double>(aborts);
+  }
+
+  std::uint64_t abort_reason_total() const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint64_t n : abort_reason) total += n;
+    return total;
+  }
+
+  // True when the reason taxonomy reconciles with the abort counter.
+  // Trivially true with OFTM_OBS off (no reasons are recorded). Only
+  // meaningful at quiescent points: mid-run, a racing abort may have
+  // bumped one counter but not yet the other.
+  bool abort_reasons_consistent() const noexcept {
+    return abort_reason_total() == (OFTM_OBS ? aborts : 0);
+  }
+
+  // OFTM_ASSERTs the reconciliation invariant (no-op when OFTM_OBS=0).
+  void check_abort_reasons() const;
+
   std::string to_string() const;
+
+ private:
+  void merge_hot_vars(const std::vector<obs::HotVar>& other);
 };
 
 }  // namespace oftm::runtime

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "core/tm.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/assert.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/cacheline.hpp"
@@ -203,6 +205,15 @@ RunResult run_workload_impl(Tm& tm, const WorkloadConfig& config) {
       // Per-op write decisions are baked into the specs; the value counter
       // is the only generation state left on the hot path.
       std::uint64_t value_counter = 0;
+#if OFTM_OBS
+      // Trace wiring resolved once per worker, before the start barrier:
+      // when $OFTM_TRACE_FILE is unset `tracing` is a dead constant and
+      // the measured loop pays one untaken branch per attempt.
+      obs::TraceSink& trace_sink = obs::TraceSink::instance();
+      const bool tracing = trace_sink.enabled();
+      const char* trace_backend =
+          tracing ? trace_sink.intern(tm.name()) : nullptr;
+#endif
 
       barrier.arrive_and_wait();
 
@@ -234,6 +245,9 @@ RunResult run_workload_impl(Tm& tm, const WorkloadConfig& config) {
             expired = true;
             break;
           }
+#if OFTM_OBS
+          const std::uint64_t span_start = tracing ? obs::now_ticks() : 0;
+#endif
           core::Transaction& txn = tm.begin(session);
           bool ok = true;
           for (int k = 0; k < ops && ok; ++k) {
@@ -258,6 +272,22 @@ RunResult run_workload_impl(Tm& tm, const WorkloadConfig& config) {
           } else {
             ++mine.aborted_attempts;
           }
+#if OFTM_OBS
+          if (tracing) {
+            obs::TraceEvent e;
+            e.start_ticks = span_start;
+            e.dur_ticks = obs::now_ticks() - span_start;
+            e.tx_seq = i;
+            e.attempt = static_cast<std::uint32_t>(attempt);
+            e.tid = static_cast<std::uint16_t>(t);
+            e.kind = done ? obs::SpanKind::kCommit : obs::SpanKind::kAbort;
+            // Valid for aborts only: the reason the backend stamped when it
+            // accounted this thread's most recent abort.
+            e.reason = obs::last_abort_reason();
+            e.backend = trace_backend;
+            trace_sink.record(e);
+          }
+#endif
         }
         // Expired mid-retry: the unfinished logical transaction is simply
         // abandoned (its failed attempts are already counted in
@@ -285,6 +315,13 @@ RunResult run_workload_impl(Tm& tm, const WorkloadConfig& config) {
     total.merge_from(arena.local);
   }
   total.tm_stats = tm.stats();
+#if OFTM_OBS
+  // Quiescent point (all workers joined): the per-reason counters must
+  // reconcile exactly with the aggregate abort count, and the trace file —
+  // if one is configured — is rewritten with everything recorded so far.
+  total.tm_stats.check_abort_reasons();
+  obs::TraceSink::instance().flush();
+#endif
   return total;
 }
 

@@ -2,14 +2,24 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+
+#include "obs/taxonomy.hpp"
 
 namespace oftm::workload::report {
 namespace {
 
 void append_number(std::string& out, double v) {
+  // %g would render inf/nan as bare words, which no JSON parser accepts;
+  // a non-finite metric (e.g. a ratio over a zero denominator upstream)
+  // degrades to null instead of poisoning the whole record.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   out += buf;
@@ -120,15 +130,42 @@ std::string to_json(const runtime::Log2Histogram& h) {
 }
 
 std::string to_json(const runtime::TxStats& s) {
+  // Key order is fixed (insertion-ordered builder) and the obs-shaped
+  // fields are emitted in both gate modes — zeros under OFTM_OBS=0 — so
+  // the schema downstream tooling sees never depends on the build.
+  Json reasons;
+  for (std::size_t i = 0; i < obs::kNumAbortReasons; ++i) {
+    reasons.field(obs::abort_reason_name(i), s.abort_reason[i]);
+  }
+  Json phases;
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    phases.field_raw(obs::phase_name(i), Json()
+                                             .field("ns", s.phase_ns[i])
+                                             .field("count", s.phase_count[i])
+                                             .str());
+  }
+  std::string hot = "[";
+  for (std::size_t i = 0; i < s.hot_vars.size(); ++i) {
+    if (i > 0) hot += ',';
+    hot += Json()
+               .field("key", s.hot_vars[i].key)
+               .field("hits", s.hot_vars[i].hits)
+               .str();
+  }
+  hot += ']';
   return Json()
       .field("commits", s.commits)
       .field("aborts", s.aborts)
       .field("forced_aborts", s.forced_aborts)
       .field("abort_ratio", s.abort_ratio())
+      .field("forced_abort_ratio", s.forced_abort_ratio())
       .field("reads", s.reads)
       .field("writes", s.writes)
       .field("cm_backoffs", s.cm_backoffs)
       .field("victim_kills", s.victim_kills)
+      .field_raw("abort_reasons", reasons.str())
+      .field_raw("phases", phases.str())
+      .field_raw("hot_vars", hot)
       .str();
 }
 

@@ -29,6 +29,7 @@
 #include "dap/conflicts.hpp"
 #include "dstm/dstm.hpp"
 #include "history/checker.hpp"
+#include "obs/trace.hpp"
 #include "sim/env.hpp"
 #include "sim/platform.hpp"
 #include "tm_conformance.hpp"
@@ -87,6 +88,31 @@ TEST(CheckedStressHotKey, SingleHotKeyHundredThousandChecksWithinFiveSeconds) {
   EXPECT_LE(out.check_seconds, 5.0)
       << "check_mvsg took " << out.check_seconds
       << " s on a 100k-transaction single-hot-key history";
+}
+
+// Observability ride-along: the same checked run with the trace sink live
+// (ring + sampling active, no output file). Tracing instruments the attempt
+// loop of every worker; it must not perturb the recorded history's opacity,
+// and the abort-reason counters must still reconcile at scale.
+TEST(CheckedStressTraced, TracingDoesNotPerturbOpacity) {
+  obs::TraceSink::instance().configure(/*ring_capacity=*/8192,
+                                       /*sample_stride=*/7, "");
+  for (const char* recipe : {"tl2", "dstm"}) {
+    auto tm = conformance::make_conformance_tm(recipe, 1024);
+    workload::WorkloadConfig config;
+    config.threads = 4;
+    config.tx_per_thread = 12'500;
+    config.ops_per_tx = 4;
+    config.write_fraction = 0.25;
+    config.seed = 0x5EED2026;
+    const auto out = conformance::run_checked_stress(*tm, config);
+    EXPECT_EQ(out.run.committed, 50'000u) << recipe;
+    EXPECT_EQ(out.well_formed_error, "") << recipe;
+    EXPECT_TRUE(out.check.ok)
+        << recipe << ": " << out.check.error
+        << "\nwitness: " << out.check.witness_str();
+    EXPECT_TRUE(out.run.tm_stats.abort_reasons_consistent()) << recipe;
+  }
 }
 
 // ---------------------------------------------------------------------------

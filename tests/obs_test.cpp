@@ -1,0 +1,432 @@
+// Tests for the observability layer (src/obs/): phase-timer calibration,
+// the conflict heat map, abort-reason attribution and its reconciliation
+// invariant across every backend recipe, the trace sink's ring/sampling
+// determinism, and the contention-manager decision counters.
+//
+// The suite is built under whatever OFTM_OBS the tree was configured
+// with: attribution assertions are gated on the macro, while the schema
+// (TxStats fields, trace sink surface) is exercised in both modes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cm/managers.hpp"
+#include "core/atomically.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/profile.hpp"
+#include "obs/taxonomy.hpp"
+#include "obs/trace.hpp"
+#include "runtime/stats.hpp"
+#include "workload/driver.hpp"
+#include "workload/factory.hpp"
+
+namespace oftm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Taxonomy: stable wire names.
+// ---------------------------------------------------------------------------
+
+TEST(ObsTaxonomy, ReasonAndPhaseNamesAreDistinctAndNonEmpty) {
+  std::set<std::string> reasons;
+  for (std::size_t i = 0; i < obs::kNumAbortReasons; ++i) {
+    const char* name = obs::abort_reason_name(i);
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(*name, '\0');
+    reasons.insert(name);
+  }
+  EXPECT_EQ(reasons.size(), obs::kNumAbortReasons);
+
+  std::set<std::string> phases;
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    const char* name = obs::phase_name(i);
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(*name, '\0');
+    phases.insert(name);
+  }
+  EXPECT_EQ(phases.size(), obs::kNumPhases);
+}
+
+// ---------------------------------------------------------------------------
+// Phase timer: calibration and monotonicity.
+// ---------------------------------------------------------------------------
+
+TEST(ObsPhaseTimer, CalibrationIsPositiveAndTicksAdvance) {
+  EXPECT_GT(obs::ns_per_tick(), 0.0);
+  // now_ticks is non-decreasing on one thread (invariant TSC or the
+  // steady_clock fallback), and advances across a busy loop.
+  const std::uint64_t t0 = obs::now_ticks();
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1;
+  const std::uint64_t t1 = obs::now_ticks();
+  EXPECT_GE(t1, t0);
+  EXPECT_GT(t1, t0) << "100k iterations took zero ticks";
+  // Converted timestamps inherit the ordering.
+  EXPECT_GE(obs::ticks_to_ns(t1), obs::ticks_to_ns(t0));
+  const std::uint64_t n0 = obs::now_ns();
+  const std::uint64_t n1 = obs::now_ns();
+  EXPECT_GE(n1, n0);
+}
+
+#if OFTM_OBS
+
+// ---------------------------------------------------------------------------
+// Heat map: heavy hitters survive space-saving eviction.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHeatMap, HeavyHitterSurvivesAStreamOfColdKeys) {
+  obs::HeatMap heat;
+  for (int i = 0; i < 100; ++i) heat.hit(42);
+  // 50 distinct cold keys churn through the remaining slots.
+  for (std::uint64_t k = 1000; k < 1050; ++k) heat.hit(k);
+  std::vector<obs::HotVar> out;
+  heat.collect_into(out);
+  EXPECT_LE(out.size(), obs::HeatMap::kSlots);
+  const obs::HotVar* hot = nullptr;
+  for (const obs::HotVar& h : out) {
+    if (h.key == 42) hot = &h;
+  }
+  ASSERT_NE(hot, nullptr) << "heavy hitter evicted by cold keys";
+  EXPECT_GE(hot->hits, 100u);
+}
+
+TEST(ObsHeatMap, NeverExceedsSlotBound) {
+  obs::HeatMap heat;
+  for (std::uint64_t k = 0; k < 10000; ++k) heat.hit(k);
+  std::vector<obs::HotVar> out;
+  heat.collect_into(out);
+  EXPECT_EQ(out.size(), obs::HeatMap::kSlots);
+}
+
+// ---------------------------------------------------------------------------
+// Phase sampling gate and scoped recording.
+// ---------------------------------------------------------------------------
+
+TEST(ObsPhaseSampling, StrideElectsExactlyOneTransactionPerWindow) {
+  const std::uint64_t stride = obs::phase_sample_stride();
+  ASSERT_GE(stride, 1u);
+  // The thread-local counter is monotone, so over any 8*stride
+  // consecutive ticks exactly 8 are elected, wherever the phase starts.
+  std::uint64_t sampled = 0;
+  for (std::uint64_t i = 0; i < 8 * stride; ++i) {
+    obs::tick_tx_sample();
+    if (obs::tx_sampled()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 8u);
+}
+
+TEST(ObsScopedPhase, SampledScopeRecordsIntoTheOwningCell) {
+  obs::TmObs tm_obs;
+  // Elect the current "transaction" deterministically.
+  const std::uint64_t stride = obs::phase_sample_stride();
+  for (std::uint64_t i = 0; i < stride; ++i) {
+    obs::tick_tx_sample();
+    if (obs::tx_sampled()) break;
+  }
+  ASSERT_TRUE(obs::tx_sampled());
+  {
+    OFTM_OBS_PHASE(tm_obs, obs::Phase::kValidation);
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + 1;
+  }
+  std::uint64_t phase_ns[obs::kNumPhases] = {};
+  std::uint64_t phase_count[obs::kNumPhases] = {};
+  std::vector<obs::HotVar> hot;
+  tm_obs.collect(phase_ns, phase_count, hot);
+  EXPECT_EQ(phase_count[static_cast<std::size_t>(obs::Phase::kValidation)],
+            1u);
+  for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+    if (p != static_cast<std::size_t>(obs::Phase::kValidation)) {
+      EXPECT_EQ(phase_count[p], 0u) << obs::phase_name(p);
+    }
+  }
+}
+
+TEST(ObsReasonCounters, CountsPerReasonExactly) {
+  obs::ReasonCounters counters;
+  counters.add(obs::AbortReason::kCmKill);
+  counters.add(obs::AbortReason::kCmKill);
+  counters.add(obs::AbortReason::kLockTimeout);
+  EXPECT_EQ(
+      counters.read(static_cast<std::size_t>(obs::AbortReason::kCmKill)), 2u);
+  EXPECT_EQ(counters.read(
+                static_cast<std::size_t>(obs::AbortReason::kLockTimeout)),
+            1u);
+  EXPECT_EQ(counters.read(static_cast<std::size_t>(
+                obs::AbortReason::kReadValidation)),
+            0u);
+}
+
+#endif  // OFTM_OBS
+
+// ---------------------------------------------------------------------------
+// TxStats: merge consistency and the reconciliation invariant.
+// ---------------------------------------------------------------------------
+
+TEST(ObsTxStats, MergeSumsReasonsPhasesAndHotVars) {
+  runtime::TxStats a;
+  a.commits = 10;
+  a.aborts = 4;
+  a.forced_aborts = 1;
+  a.abort_reason[2] = 3;
+  a.abort_reason[0] = 1;
+  a.phase_ns[1] = 500;
+  a.phase_count[1] = 5;
+  a.hot_vars = {{7, 5}};
+
+  runtime::TxStats b;
+  b.commits = 5;
+  b.aborts = 2;
+  b.forced_aborts = 2;
+  b.abort_reason[2] = 2;
+  b.phase_ns[1] = 100;
+  b.phase_count[1] = 1;
+  b.hot_vars = {{7, 2}, {9, 3}};
+
+  a.merge(b);
+  EXPECT_EQ(a.commits, 15u);
+  EXPECT_EQ(a.aborts, 6u);
+  EXPECT_EQ(a.forced_aborts, 3u);
+  EXPECT_EQ(a.abort_reason[2], 5u);
+  EXPECT_EQ(a.abort_reason[0], 1u);
+  EXPECT_EQ(a.abort_reason_total(), 6u);
+  EXPECT_EQ(a.phase_ns[1], 600u);
+  EXPECT_EQ(a.phase_count[1], 6u);
+  EXPECT_DOUBLE_EQ(a.forced_abort_ratio(), 0.5);
+  // Hot vars merged by key, heaviest first.
+  ASSERT_EQ(a.hot_vars.size(), 2u);
+  EXPECT_EQ(a.hot_vars[0].key, 7u);
+  EXPECT_EQ(a.hot_vars[0].hits, 7u);
+  EXPECT_EQ(a.hot_vars[1].key, 9u);
+  EXPECT_EQ(a.hot_vars[1].hits, 3u);
+#if OFTM_OBS
+  EXPECT_TRUE(a.abort_reasons_consistent());
+  a.check_abort_reasons();
+#endif
+}
+
+TEST(ObsTxStats, ForcedAbortRatioIsZeroWithoutAborts) {
+  runtime::TxStats s;
+  EXPECT_DOUBLE_EQ(s.forced_abort_ratio(), 0.0);
+  s.aborts = 8;
+  s.forced_aborts = 8;
+  EXPECT_DOUBLE_EQ(s.forced_abort_ratio(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Attribution: every backend recipe reconciles reasons with aborts.
+// ---------------------------------------------------------------------------
+
+class ObsReconciliationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ObsReconciliationTest, AbortReasonsSumToAbortsUnderContention) {
+  // Small heap + high write fraction: force real conflicts so the abort
+  // counters actually move on backends that can abort.
+  auto tm = workload::make_tm(GetParam(), 16);
+  workload::WorkloadConfig config;
+  config.threads = 4;
+  config.tx_per_thread = 400;
+  config.ops_per_tx = 4;
+  config.write_fraction = 0.5;
+  config.seed = 0xAB0A7;
+  // run_workload itself OFTM_ASSERTs the invariant after join; re-check
+  // through the public predicate so a failure reads as a test failure.
+  const workload::RunResult r = workload::run_workload(*tm, config);
+  const runtime::TxStats s = r.tm_stats;
+  EXPECT_TRUE(s.abort_reasons_consistent())
+      << "sum(abort_reason)=" << s.abort_reason_total()
+      << " aborts=" << s.aborts << " for " << GetParam();
+#if !OFTM_OBS
+  EXPECT_EQ(s.abort_reason_total(), 0u);
+#endif
+  EXPECT_EQ(r.committed, 1600u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ObsReconciliationTest,
+    ::testing::ValuesIn(workload::all_backends()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-' || c == ':') c = '_';
+      }
+      return name;
+    });
+
+TEST(ObsAttribution, ExplicitRetryIsAttributedToTheRetryReason) {
+  auto tm = workload::make_tm("tl2", 16);
+  int attempts = 0;
+  core::atomically(*tm, [&attempts](core::TxView& v) {
+    ++attempts;
+    const core::Value x = v.read(0);
+    if (attempts == 1) v.retry();  // precondition "fails" once
+    v.write(0, x + 1);
+  });
+  EXPECT_EQ(attempts, 2);
+  const runtime::TxStats s = tm->stats();
+  EXPECT_EQ(s.commits, 1u);
+  EXPECT_EQ(s.aborts, 1u);
+  EXPECT_EQ(s.forced_aborts, 0u);
+#if OFTM_OBS
+  EXPECT_EQ(s.abort_reason[static_cast<std::size_t>(
+                obs::AbortReason::kExplicitRetry)],
+            1u);
+  s.check_abort_reasons();
+#endif
+}
+
+TEST(ObsAttribution, CancelIsAttributedToUserRequested) {
+  auto tm = workload::make_tm("norec", 16);
+  EXPECT_THROW(
+      core::atomically(*tm, [](core::TxView& v) { v.cancel(); }),
+      core::TxCancelled);
+  const runtime::TxStats s = tm->stats();
+  EXPECT_EQ(s.commits, 0u);
+  EXPECT_EQ(s.aborts, 1u);
+  EXPECT_EQ(s.forced_aborts, 0u);
+#if OFTM_OBS
+  EXPECT_EQ(s.abort_reason[static_cast<std::size_t>(
+                obs::AbortReason::kUserRequested)],
+            1u);
+  s.check_abort_reasons();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Contention-manager decision counters.
+// ---------------------------------------------------------------------------
+
+TEST(ObsCmDecisions, DecideTalliesPerDecision) {
+  auto mgr = cm::make_manager("aggressive");  // always kAbortVictim
+  cm::Conflict c;
+  c.self_tid = 0;
+  c.victim_tid = 1;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(mgr->decide(c), cm::Decision::kAbortVictim);
+  }
+  const cm::ContentionManager::DecisionCounts n = mgr->decision_counts();
+#if OFTM_OBS
+  EXPECT_EQ(n.aborted_victim, 3u);
+  EXPECT_EQ(n.waited, 0u);
+  EXPECT_EQ(n.aborted_self, 0u);
+#else
+  EXPECT_EQ(n.aborted_victim, 0u);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink: overflow, sampling determinism, Chrome JSON export.
+//
+// These tests run in declaration order and share the process-wide sink;
+// each starts by configure()-ing it into a known state.
+// ---------------------------------------------------------------------------
+
+obs::TraceEvent make_event(std::uint64_t seq) {
+  obs::TraceEvent e;
+  e.start_ticks = 1000 + seq;
+  e.dur_ticks = 10;
+  e.tx_seq = seq;
+  e.tid = 0;
+  return e;
+}
+
+TEST(ObsTraceSink, OverflowKeepsTheNewestEventsAndCountsDrops) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.configure(/*ring_capacity=*/16, /*sample_stride=*/1, "");
+  ASSERT_TRUE(sink.enabled());
+  for (std::uint64_t i = 0; i < 100; ++i) sink.record(make_event(i));
+  const std::vector<obs::TraceEvent> events = sink.snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(sink.dropped(), 84u);
+  // The ring keeps the tail: the 16 most recent, in start order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].tx_seq, 84 + i);
+  }
+}
+
+TEST(ObsTraceSink, CounterStrideSamplingIsDeterministic) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.configure(/*ring_capacity=*/1024, /*sample_stride=*/4, "");
+  for (std::uint64_t i = 0; i < 100; ++i) sink.record(make_event(i));
+  const std::vector<obs::TraceEvent> events = sink.snapshot();
+  ASSERT_EQ(events.size(), 25u);
+  // Counter-based (not random) sampling: a fixed run keeps a fixed set.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].tx_seq, 4 * i);
+  }
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(ObsTraceSink, FlushWritesLoadableChromeTraceJson) {
+  char path[] = "/tmp/oftm_obs_trace_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.configure(/*ring_capacity=*/64, /*sample_stride=*/1, path);
+
+  obs::TraceEvent commit = make_event(0);
+  commit.backend = sink.intern("tl2");
+  sink.record(commit);
+  obs::TraceEvent aborted = make_event(1);
+  aborted.kind = obs::SpanKind::kAbort;
+  aborted.reason = obs::AbortReason::kReadValidation;
+  aborted.backend = commit.backend;
+  sink.record(aborted);
+  sink.flush();
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"abort:read_validation\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend\":\"tl2\""), std::string::npos);
+  // The first event is rebased to ts=0.
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  // Balanced object: starts with '{' and the last non-space is '}'.
+  const std::size_t last = json.find_last_not_of(" \n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[last], '}');
+
+  close(fd);
+  std::remove(path);
+  // Leave the sink path-less so later suites in this process cannot
+  // accidentally rewrite a deleted temp file at exit.
+  sink.configure(/*ring_capacity=*/64, /*sample_stride=*/1, "");
+}
+
+TEST(ObsTraceSink, TracingDoesNotPerturbWorkloadResults) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.configure(/*ring_capacity=*/4096, /*sample_stride=*/1, "");
+  auto tm = workload::make_tm("tl2", 64);
+  workload::WorkloadConfig config;
+  config.threads = 4;
+  config.tx_per_thread = 500;
+  config.ops_per_tx = 4;
+  config.write_fraction = 0.5;
+  config.seed = 99;
+  const workload::RunResult r = workload::run_workload(*tm, config);
+  EXPECT_EQ(r.committed, 2000u);
+  EXPECT_TRUE(r.tm_stats.abort_reasons_consistent());
+#if OFTM_OBS
+  // The driver recorded one span per attempt on the sampled stride.
+  EXPECT_GE(sink.snapshot().size() + sink.dropped(), 2000u);
+#endif
+}
+
+}  // namespace
+}  // namespace oftm

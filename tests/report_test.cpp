@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 
 #include "workload/driver.hpp"
 #include "workload/factory.hpp"
@@ -62,6 +63,36 @@ TEST(Json, EscapesControlCharactersAndQuotes) {
   EXPECT_TRUE(balanced_json(s));
 }
 
+// Regression: a hostile scenario/backend name (quotes, backslashes,
+// newlines, control bytes) must never produce an unparseable report line —
+// every identity string a bench passes through flows through escape().
+TEST(Json, HostileScenarioNameStaysOneParsableLine) {
+  const std::string evil = "zipf\"s=0.99\\hot\nset\r\x02";
+  const std::string s = Json()
+                            .field("bench", "B1")
+                            .field("scenario", evil)
+                            .field("backend", "tl2\"region")
+                            .str();
+  EXPECT_TRUE(balanced_json(s));
+  EXPECT_EQ(s.find('\n'), std::string::npos) << "raw newline breaks JSONL";
+  EXPECT_EQ(s.find('\r'), std::string::npos);
+  EXPECT_NE(s.find("\\\"s=0.99\\\\hot\\nset\\r\\u0002"), std::string::npos)
+      << s;
+}
+
+// Non-finite metrics degrade to null, not to bare inf/nan words.
+TEST(Json, NonFiniteDoublesDegradeToNull) {
+  const std::string s =
+      Json()
+          .field("inf", std::numeric_limits<double>::infinity())
+          .field("ninf", -std::numeric_limits<double>::infinity())
+          .field("nan", std::numeric_limits<double>::quiet_NaN())
+          .field("ok", 1.5)
+          .str();
+  EXPECT_EQ(s, "{\"inf\":null,\"ninf\":null,\"nan\":null,\"ok\":1.5}");
+  EXPECT_TRUE(balanced_json(s));
+}
+
 TEST(Report, HistogramJsonHasQuantiles) {
   runtime::Log2Histogram h;
   for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
@@ -91,6 +122,13 @@ TEST(Report, RunResultJsonCarriesTheStructuredReport) {
   EXPECT_NE(s.find("\"imbalance\""), std::string::npos);
   EXPECT_NE(s.find("\"tm_stats\""), std::string::npos);
   EXPECT_NE(s.find("\"committed\":400"), std::string::npos);
+  // The obs-shaped schema is present in both gate modes (zeros when off).
+  EXPECT_NE(s.find("\"forced_abort_ratio\""), std::string::npos);
+  EXPECT_NE(s.find("\"abort_reasons\""), std::string::npos);
+  EXPECT_NE(s.find("\"read_validation\""), std::string::npos);
+  EXPECT_NE(s.find("\"phases\""), std::string::npos);
+  EXPECT_NE(s.find("\"commit_lock\""), std::string::npos);
+  EXPECT_NE(s.find("\"hot_vars\""), std::string::npos);
 }
 
 TEST(Report, EmitAppendsJsonLinesToReportFile) {
