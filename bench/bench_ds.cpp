@@ -1,0 +1,236 @@
+// DS — boxed vs. region container throughput, one template two layouts.
+//
+// The ds/ containers are written once against core::MemoryModel and
+// instantiated over both storage tiers; this bench puts a price on the
+// layout choice. Each scenario runs the SAME application loop (hash-map
+// get/put/erase, sorted-list contains/insert/erase) over a boxed backend
+// (per-TVar arena slots: tl2, norec) and its word-granular region
+// sibling (tl2-region, norec-region: contiguous probe-table words,
+// tx_alloc'd pointer-linked nodes), sweeping container size × threads ×
+// read fraction. Expected shape: region wins on the list (nodes are two
+// adjacent heap words, not two cache-padded TVar slots) and tracks the
+// boxed tier on the map; the gap narrows as contention, not memory
+// traffic, becomes the bound.
+//
+// Reports one JSON line per configuration via $OFTM_REPORT_FILE
+// (bench/baselines/REPORT_bench_ds.jsonl is the committed baseline).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/atomically.hpp"
+#include "core/memory_model.hpp"
+#include "ds/thashmap.hpp"
+#include "ds/tlist.hpp"
+#include "runtime/xorshift.hpp"
+#include "workload/factory.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+using oftm::core::TxView;
+
+const std::vector<std::string>& backends() {
+  // Boxed / region pairs of the same two algorithms, so a row diff is a
+  // layout comparison, not an algorithm comparison.
+  static const std::vector<std::string> names = {"tl2", "norec", "tl2-region",
+                                                 "norec-region"};
+  return names;
+}
+
+constexpr double kRunSeconds = 0.12;
+constexpr double kReadFractions[] = {0.9, 0.5};
+
+struct DsRun {
+  std::uint64_t ops = 0;
+  std::uint64_t aborts = 0;
+  double seconds = 0;
+};
+
+// Spawn `threads` workers running `op(rng, t)` in a loop for the time
+// budget; only the churn section is timed (setup and prefill are not).
+template <typename Op>
+DsRun run_threads(oftm::core::TransactionalMemory& tm, int threads,
+                  Op&& op) {
+  const std::uint64_t aborts_before = tm.stats().aborts;
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> per_thread(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      oftm::runtime::Xoshiro256 rng(1234 + static_cast<std::uint64_t>(t));
+      std::uint64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        op(rng, t);
+        ++done;
+      }
+      per_thread[static_cast<std::size_t>(t)] = done;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  DsRun r;
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  for (const auto n : per_thread) r.ops += n;
+  r.aborts = tm.stats().aborts - aborts_before;
+  return r;
+}
+
+template <typename Model>
+DsRun run_map(oftm::core::TransactionalMemory& tm, int threads,
+              std::uint64_t key_range, std::uint32_t capacity,
+              double read_fraction) {
+  oftm::ds::THashMapT<Model> map(tm, 0, capacity);
+  map.init();
+  oftm::core::atomically(tm, [&](TxView& tx) {
+    for (std::uint64_t k = 0; k < key_range; k += 2) map.put(tx, k, k);
+  });
+  return run_threads(tm, threads, [&](oftm::runtime::Xoshiro256& rng, int) {
+    const std::uint64_t key = rng.next_range(key_range);
+    if (rng.next_bool(read_fraction)) {
+      oftm::core::atomically(tm,
+                             [&](TxView& tx) { (void)map.get(tx, key); });
+    } else if (rng.next_bool(0.5)) {
+      oftm::core::atomically(tm,
+                             [&](TxView& tx) { map.put(tx, key, key + 1); });
+    } else {
+      oftm::core::atomically(tm, [&](TxView& tx) { map.erase(tx, key); });
+    }
+  });
+}
+
+template <typename Model>
+DsRun run_list(oftm::core::TransactionalMemory& tm, int threads,
+               std::uint64_t key_range, std::uint32_t capacity,
+               double read_fraction) {
+  oftm::ds::TListSetT<Model> set(tm, 0, capacity);
+  set.init();
+  oftm::core::atomically(tm, [&](TxView& tx) {
+    for (std::uint64_t k = 1; k <= key_range; k += 2) set.insert(tx, k);
+  });
+  return run_threads(tm, threads, [&](oftm::runtime::Xoshiro256& rng, int) {
+    const std::uint64_t key = rng.next_range(key_range) + 1;
+    if (rng.next_bool(read_fraction)) {
+      oftm::core::atomically(
+          tm, [&](TxView& tx) { (void)set.contains(tx, key); });
+    } else if (rng.next_bool(0.5)) {
+      oftm::core::atomically(tm, [&](TxView& tx) { set.insert(tx, key); });
+    } else {
+      oftm::core::atomically(tm, [&](TxView& tx) { set.erase(tx, key); });
+    }
+  });
+}
+
+void emit_record(const char* structure, const std::string& backend,
+                 bool region, std::uint64_t key_range, std::uint32_t capacity,
+                 int threads, double read_fraction, const DsRun& merged) {
+  const double throughput =
+      merged.seconds > 0 ? static_cast<double>(merged.ops) / merged.seconds
+                         : 0.0;
+  oftm::workload::report::emit(
+      oftm::workload::report::Json()
+          .field("bench", "DS")
+          .field("scenario", structure)
+          .field("backend", backend)
+          .field_raw("config",
+                     oftm::workload::report::Json()
+                         .field("layout", region ? "region" : "boxed")
+                         .field("key_range", key_range)
+                         .field("capacity", static_cast<std::uint64_t>(capacity))
+                         .field("threads", threads)
+                         .field("read_fraction", read_fraction)
+                         .str())
+          .field_raw("result",
+                     oftm::workload::report::Json()
+                         .field("ops", merged.ops)
+                         .field("seconds", merged.seconds)
+                         .field("aborted_attempts", merged.aborts)
+                         .field("throughput_tx_s", throughput)
+                         .str()));
+}
+
+// state.range(): 0 = backend index, 1 = size index, 2 = threads,
+// 3 = read-fraction index.
+template <bool kIsMap>
+void BM_Ds(benchmark::State& state) {
+  const std::string backend =
+      backends()[static_cast<std::size_t>(state.range(0))];
+  // Map sizes stress the probe table; list sizes keep the O(n) walk of the
+  // sorted list within a sane transaction footprint.
+  const std::uint64_t key_range =
+      kIsMap ? (state.range(1) == 0 ? 128 : 2048)
+             : (state.range(1) == 0 ? 64 : 512);
+  const auto capacity =
+      static_cast<std::uint32_t>(kIsMap ? 2 * key_range : key_range);
+  const int threads = static_cast<int>(state.range(2));
+  const double read_fraction =
+      kReadFractions[static_cast<std::size_t>(state.range(3))];
+
+  // Size by the boxed layout, the larger footprint of the two.
+  const std::size_t words =
+      kIsMap ? oftm::ds::THashMap::tvars_needed(capacity)
+             : oftm::ds::TListSet::tvars_needed(capacity);
+
+  DsRun merged;
+  bool region = false;
+  for (auto _ : state) {
+    auto tm = oftm::workload::make_tm_for_containers(backend, words);
+    region = tm->has_word_access();
+    const DsRun r = oftm::core::with_memory_model(*tm, [&](auto tag) {
+      using Model = typename decltype(tag)::type;
+      if constexpr (kIsMap) {
+        return run_map<Model>(*tm, threads, key_range, capacity,
+                              read_fraction);
+      } else {
+        return run_list<Model>(*tm, threads, key_range, capacity,
+                               read_fraction);
+      }
+    });
+    state.SetIterationTime(r.seconds);
+    merged.ops += r.ops;
+    merged.aborts += r.aborts;
+    merged.seconds += r.seconds;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(merged.ops));
+  state.counters["threads"] = threads;
+  state.counters["keys"] = static_cast<double>(key_range);
+  state.SetLabel(backend + (region ? "/region" : "/boxed"));
+  emit_record(kIsMap ? "hashmap" : "listset", backend, region, key_range,
+              capacity, threads, read_fraction, merged);
+}
+
+void register_all() {
+  for (std::size_t b = 0; b < backends().size(); ++b) {
+    for (std::int64_t size = 0; size < 2; ++size) {
+      for (std::int64_t t : {1, 2, 4, 8}) {
+        for (std::int64_t rf = 0; rf < 2; ++rf) {
+          const char* mix = rf == 0 ? "read_mostly" : "write_heavy";
+          benchmark::RegisterBenchmark(
+              (std::string("DS/hashmap/") + mix).c_str(), BM_Ds<true>)
+              ->Args({static_cast<std::int64_t>(b), size, t, rf})
+              ->UseManualTime()
+              ->Iterations(2);
+          benchmark::RegisterBenchmark(
+              (std::string("DS/listset/") + mix).c_str(), BM_Ds<false>)
+              ->Args({static_cast<std::int64_t>(b), size, t, rf})
+              ->UseManualTime()
+              ->Iterations(2);
+        }
+      }
+    }
+  }
+}
+
+const int dummy = (register_all(), 0);
+
+}  // namespace

@@ -4,7 +4,7 @@
 # Usage: bench/record_baselines.sh [BUILD_DIR]   (default: build/release)
 #
 # Produces, under bench/baselines/:
-#   REPORT_<bench>.jsonl       shared JSON-lines run report, all 12 benches
+#   REPORT_<bench>.jsonl       shared JSON-lines run report, all 13 benches
 #   BENCH_throughput.json      google-benchmark JSON (headline comparison)
 #   BENCH_foctm_overhead.json  google-benchmark JSON
 #
@@ -16,7 +16,7 @@ out_dir="$(cd "$(dirname "$0")" && pwd)/baselines"
 mkdir -p "$out_dir"
 
 gbench_benches=(bench_checker bench_contention_managers bench_dap_hotspot
-                bench_eventual_ic bench_foc bench_foctm_overhead
+                bench_ds bench_eventual_ic bench_foc bench_foctm_overhead
                 bench_reclamation bench_throughput)
 standalone_benches=(bench_consensus_number bench_dap_violations
                     bench_fig1_history bench_fig2_dap)

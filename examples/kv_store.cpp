@@ -4,38 +4,45 @@
 // audit counter} — one transaction spanning a queue and a map, the kind of
 // multi-container atomicity the paper's introduction motivates.
 //
+// The application logic is templated over core::MemoryModel, so the SAME
+// code runs on the boxed backends (dstm, tl2, norec, ...) and on the
+// word-granular region recipes (tl2-region, norec-region) — the layout is
+// picked at runtime from the backend's capability.
+//
 //   ./kv_store [backend] [producers] [consumers]
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/atomically.hpp"
+#include "core/memory_model.hpp"
 #include "ds/thashmap.hpp"
 #include "ds/tqueue.hpp"
 #include "runtime/xorshift.hpp"
 #include "workload/factory.hpp"
 
-int main(int argc, char** argv) {
-  const std::string backend = argc > 1 ? argv[1] : "dstm";
-  const int producers = argc > 2 ? std::atoi(argv[2]) : 2;
-  const int consumers = argc > 3 ? std::atoi(argv[3]) : 2;
-  constexpr std::uint32_t kMapCapacity = 256;   // power of two
-  constexpr std::uint32_t kQueueCapacity = 64;
-  constexpr std::uint64_t kJobsPerProducer = 5000;
+namespace {
 
-  const std::size_t map_base = 0;
-  const std::size_t queue_base = oftm::ds::THashMap::tvars_needed(kMapCapacity);
-  const std::size_t applied_var =
-      queue_base + oftm::ds::TQueue::tvars_needed(kQueueCapacity);
-  auto tm = oftm::workload::make_tm(backend, applied_var + 1);
+constexpr std::uint32_t kMapCapacity = 256;  // power of two
+constexpr std::uint32_t kQueueCapacity = 64;
+constexpr std::uint64_t kJobsPerProducer = 5000;
 
-  oftm::ds::THashMap map(*tm, static_cast<oftm::core::TVarId>(map_base),
-                         kMapCapacity);
-  oftm::ds::TQueue queue(*tm, static_cast<oftm::core::TVarId>(queue_base),
-                         kQueueCapacity);
+template <typename Model>
+int run(oftm::core::TransactionalMemory& tm, int producers, int consumers,
+        oftm::core::TVarId applied_var) {
+  using Map = oftm::ds::THashMapT<Model>;
+  using Queue = oftm::ds::TQueueT<Model>;
+
+  const oftm::core::TVarId map_base = 0;
+  const auto queue_base =
+      static_cast<oftm::core::TVarId>(Map::tvars_needed(kMapCapacity));
+
+  Map map(tm, map_base, kMapCapacity);
+  Queue queue(tm, queue_base, kQueueCapacity);
   map.init();
   queue.init();
 
@@ -54,7 +61,7 @@ int main(int argc, char** argv) {
         const oftm::core::Value job = (delta << 32) | key;
         for (;;) {  // spin while the bounded queue is full
           const bool enqueued =
-              oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+              oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
                 return queue.enqueue(tx, job);
               });
           if (enqueued) break;
@@ -67,16 +74,14 @@ int main(int argc, char** argv) {
     threads.emplace_back([&] {
       while (consumed.load(std::memory_order_relaxed) < total_jobs) {
         const bool got =
-            oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+            oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
               const auto job = queue.dequeue(tx);
               if (!job.has_value()) return false;
               const std::uint64_t key = *job & 0xffffffffu;
               const std::uint64_t delta = *job >> 32;
               const auto cur = map.get(tx, key);
               map.put(tx, key, cur.value_or(0) + delta);
-              tx.write(static_cast<oftm::core::TVarId>(applied_var),
-                       tx.read(static_cast<oftm::core::TVarId>(applied_var)) +
-                           delta);
+              tx.write(applied_var, tx.read(applied_var) + delta);
               return true;
             });
         if (got) {
@@ -92,22 +97,56 @@ int main(int argc, char** argv) {
   // Audit: the sum of all map values must equal the applied-delta counter —
   // the two were only ever updated together, atomically.
   std::uint64_t sum = 0;
-  oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+  oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
     sum = 0;
     for (std::uint64_t key = 0; key < 100; ++key) {
       sum += map.get(tx, key).value_or(0);
     }
   });
-  const std::uint64_t applied =
-      tm->read_quiescent(static_cast<oftm::core::TVarId>(applied_var));
+  const std::uint64_t applied = tm.read_quiescent(applied_var);
 
-  std::printf("backend: %s, producers: %d, consumers: %d\n",
-              tm->name().c_str(), producers, consumers);
   std::printf("jobs applied: %llu, map total: %llu, audit counter: %llu\n",
               static_cast<unsigned long long>(consumed.load()),
               static_cast<unsigned long long>(sum),
               static_cast<unsigned long long>(applied));
   std::printf("consistency: %s\n", sum == applied ? "OK" : "CORRUPTED");
-  std::printf("stats: %s\n", tm->stats().to_string().c_str());
+  std::printf("stats: %s\n", tm.stats().to_string().c_str());
   return sum == applied && consumed.load() == total_jobs ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string backend = argc > 1 ? argv[1] : "dstm";
+  const int producers = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int consumers = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  // Size by the boxed layout (the larger footprint: region containers live
+  // in the heap, not the t-var array); the last word is the audit counter.
+  const std::size_t words =
+      oftm::ds::THashMap::tvars_needed(kMapCapacity) +
+      oftm::ds::TQueue::tvars_needed(kQueueCapacity) + 1;
+
+  std::unique_ptr<oftm::core::TransactionalMemory> tm;
+  try {
+    tm = oftm::workload::make_tm_for_containers(backend, words);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n\navailable backend recipes:\n",
+                 e.what());
+    for (const std::string& name : oftm::workload::all_backends()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    std::fprintf(stderr,
+                 "(dstm-collapse/dstm-visible also accept a ':<cm>' "
+                 "contention-manager suffix)\n");
+    return 2;
+  }
+
+  std::printf("backend: %s, producers: %d, consumers: %d\n",
+              tm->name().c_str(), producers, consumers);
+  const auto applied_var = static_cast<oftm::core::TVarId>(words - 1);
+  return oftm::core::with_memory_model(*tm, [&](auto tag) {
+    return run<typename decltype(tag)::type>(*tm, producers, consumers,
+                                             applied_var);
+  });
 }

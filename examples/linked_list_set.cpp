@@ -4,6 +4,10 @@
 // transaction (the paper's introduction: "unlike lock-based schemes,
 // transactions are composable [16]").
 //
+// The application logic is templated over core::MemoryModel: on boxed
+// backends the sets are TVarId arenas, on tl2-region/norec-region they are
+// tx_alloc'd pointer-linked heap nodes — same code either way.
+//
 //   ./linked_list_set [backend] [threads]
 //
 // Note: avoid the foctm backends here — Algorithm 2 read-acquires every
@@ -13,35 +17,37 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/atomically.hpp"
+#include "core/memory_model.hpp"
 #include "ds/tlist.hpp"
 #include "runtime/xorshift.hpp"
 #include "workload/factory.hpp"
 
-int main(int argc, char** argv) {
-  const std::string backend = argc > 1 ? argv[1] : "dstm";
-  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
-  constexpr std::uint32_t kCapacity = 128;
-  constexpr int kOpsPerThread = 4000;
+namespace {
 
-  const std::size_t set_a_base = 0;
-  const std::size_t set_b_base = oftm::ds::TListSet::tvars_needed(kCapacity);
-  auto tm = oftm::workload::make_tm(
-      backend, set_b_base + oftm::ds::TListSet::tvars_needed(kCapacity));
+constexpr std::uint32_t kCapacity = 128;
+constexpr int kOpsPerThread = 4000;
 
-  oftm::ds::TListSet set_a(*tm, static_cast<oftm::core::TVarId>(set_a_base),
-                           kCapacity);
-  oftm::ds::TListSet set_b(*tm, static_cast<oftm::core::TVarId>(set_b_base),
-                           kCapacity);
+template <typename Model>
+int run(oftm::core::TransactionalMemory& tm, int threads) {
+  using Set = oftm::ds::TListSetT<Model>;
+
+  const oftm::core::TVarId set_a_base = 0;
+  const auto set_b_base =
+      static_cast<oftm::core::TVarId>(Set::tvars_needed(kCapacity));
+
+  Set set_a(tm, set_a_base, kCapacity);
+  Set set_b(tm, set_b_base, kCapacity);
   set_a.init();
   set_b.init();
 
   // Seed set A with even keys.
-  oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+  oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
     for (std::uint64_t k = 2; k <= 40; k += 2) set_a.insert(tx, k);
   });
 
@@ -54,17 +60,17 @@ int main(int argc, char** argv) {
         const std::uint64_t key = rng.next_range(60) + 1;
         switch (rng.next_range(4)) {
           case 0:
-            oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+            oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
               set_a.insert(tx, key);
             });
             break;
           case 1:
-            oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+            oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
               set_a.erase(tx, key);
             });
             break;
           case 2:
-            oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+            oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
               (void)set_a.contains(tx, key);
             });
             break;
@@ -72,7 +78,7 @@ int main(int argc, char** argv) {
             // Composed operation: atomically move `key` from A to B. No
             // intermediate state (key in both or neither set) is ever
             // observable — this is one transaction spanning two containers.
-            if (oftm::core::atomically(*tm, [&](oftm::core::TxView& tx) {
+            if (oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
                   if (!set_a.erase(tx, key)) return false;
                   set_b.insert(tx, key);
                   return true;
@@ -88,11 +94,36 @@ int main(int argc, char** argv) {
 
   const bool a_ok = set_a.audit_quiescent();
   const bool b_ok = set_b.audit_quiescent();
-  std::printf("backend: %s, threads: %d\n", tm->name().c_str(), threads);
   std::printf("atomic moves A->B: %llu\n",
               static_cast<unsigned long long>(moves.load()));
   std::printf("structural audit: A %s, B %s\n", a_ok ? "OK" : "BROKEN",
               b_ok ? "OK" : "BROKEN");
-  std::printf("stats: %s\n", tm->stats().to_string().c_str());
+  std::printf("stats: %s\n", tm.stats().to_string().c_str());
   return a_ok && b_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string backend = argc > 1 ? argv[1] : "dstm";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  // Size by the boxed layout — the larger footprint of the two models.
+  const std::size_t words = 2 * oftm::ds::TListSet::tvars_needed(kCapacity);
+
+  std::unique_ptr<oftm::core::TransactionalMemory> tm;
+  try {
+    tm = oftm::workload::make_tm_for_containers(backend, words);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n\navailable backend recipes:\n",
+                 e.what());
+    for (const std::string& name : oftm::workload::all_backends()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 2;
+  }
+
+  std::printf("backend: %s, threads: %d\n", tm->name().c_str(), threads);
+  return oftm::core::with_memory_model(
+      *tm, [&](auto tag) { return run<typename decltype(tag)::type>(*tm, threads); });
 }

@@ -73,6 +73,45 @@ class TxView {
     if (!tm_.write(txn_, x, v)) dead_ = true;
   }
 
+  // ---- Word tier (region-capable backends only) ------------------------
+  // Same dead-view discipline as read/write: a forced abort poisons the
+  // view, and every later word operation no-ops. Callers gate layout
+  // decisions on has_word_access(); reaching read_at/write_at/alloc on a
+  // boxed backend trips the TransactionalMemory default asserts.
+
+  bool has_word_access() const noexcept { return tm_.has_word_access(); }
+
+  // Read the heap word at addr; 0 + dead view on a forced abort.
+  Value read_at(const Value* addr) {
+    if (dead_) return 0;
+    const auto v = tm_.read_word(txn_, addr);
+    if (!v) {
+      dead_ = true;
+      return 0;
+    }
+    return *v;
+  }
+
+  // Write v to the heap word at addr; a no-op once the view is dead.
+  void write_at(Value* addr, Value v) {
+    if (dead_) return;
+    if (!tm_.write_word(txn_, addr, v)) dead_ = true;
+  }
+
+  // Transactionally allocate a zeroed block. nullptr on a dead view OR on
+  // arena exhaustion — exhaustion is not an abort (ok() stays true), so
+  // callers that must distinguish check ok() after a nullptr.
+  void* alloc(std::size_t bytes) {
+    if (dead_) return nullptr;
+    return tm_.tx_alloc(txn_, bytes);
+  }
+
+  // Transactionally free a block (deferred to commit; forgotten on abort).
+  void dealloc(void* p) {
+    if (dead_ || p == nullptr) return;
+    tm_.tx_free(txn_, p);
+  }
+
   // False once the transaction was forcefully aborted (or retry() ran):
   // the attempt is doomed and the body should return.
   bool ok() const noexcept { return !dead_; }

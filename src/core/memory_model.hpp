@@ -1,0 +1,324 @@
+// The memory-model concept behind the write-once ds:: containers.
+//
+// The paper motivates TM with composable operations on shared data
+// structures; this layer decides what "shared data" *is*. Two layouts
+// implement one concept:
+//
+//   BoxedMemory   — records live in the TM's boxed TVarId space. A record
+//                   reference is a word offset into a per-container arena
+//                   (plus one, so 0 stays null) and field access is TVarId
+//                   arithmetic. Dynamic records come from a transactional
+//                   bump-plus-free-list allocator whose roots are
+//                   themselves t-variables, so an aborted allocation leaks
+//                   nothing.
+//   RegionMemory  — records live in a region backend's word-granular heap
+//                   (tl2-region / norec-region). A record reference is the
+//                   address of its first word; dynamic records are
+//                   tx_alloc'd pointer-linked nodes and static records are
+//                   contiguous word arrays — the inline layout whose
+//                   cache-locality trade-offs the region tier exists to
+//                   measure.
+//
+// A container written against the MemoryModel concept instantiates over
+// both and stays a single implementation (see src/ds/). Records are either
+// raw (a Ref plus word indices, for variable-length tables) or typed
+// (TxPtr<T> plus member-pointer field access, for fixed-shape nodes).
+//
+// All transactional traffic routes through core::TxView, so the dead-view
+// discipline is uniform: on a forced abort every load returns poison 0,
+// every store/alloc no-ops, and the container bails out via tx.ok().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+
+#include "core/atomically.hpp"
+#include "core/tm.hpp"
+#include "core/types.hpp"
+#include "runtime/assert.hpp"
+
+namespace oftm::core {
+
+// Layout-independent record reference. 0 is null in both models; boxed
+// refs are arena word offsets + 1, region refs are word addresses.
+using Ref = Value;
+inline constexpr Ref kNullRef = 0;
+
+// Typed handle to a record of shape T, where T is a plain struct of
+// Value-sized fields (the transactional unit of both models).
+template <typename T>
+struct TxPtr {
+  Ref ref = kNullRef;
+  constexpr explicit operator bool() const noexcept { return ref != kNullRef; }
+  friend constexpr bool operator==(TxPtr, TxPtr) = default;
+};
+
+// Word index of a field within its record, from a member pointer: probes a
+// static default-constructed T instead of trusting manual offsets.
+template <typename T, typename F>
+inline std::size_t field_index(F T::*member) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "record shapes must be plain structs of Value fields");
+  static_assert(sizeof(F) == sizeof(Value),
+                "every record field must be one transactional word");
+  static const T probe{};
+  return static_cast<std::size_t>(
+             reinterpret_cast<const char*>(&(probe.*member)) -
+             reinterpret_cast<const char*>(&probe)) /
+         sizeof(Value);
+}
+
+// What a container needs from a layout. `kOverheadWords` is the model's
+// fixed bookkeeping cost, part of every container's tvars_needed formula
+// (boxed: the two allocator root words; region: zero).
+template <typename M>
+concept MemoryModel =
+    requires(M m, const M cm, TxView& tx, Ref r, std::size_t n, Value v) {
+      { M::kOverheadWords } -> std::convertible_to<std::size_t>;
+      // Setup-time allocation of a container root / table: `n` contiguous
+      // zeroed words, alive for the container's lifetime. Quiescent —
+      // call from the container constructor, before any transaction.
+      { m.alloc_static(n) } -> std::same_as<Ref>;
+      // One-time arming inside the container's init transaction (boxed:
+      // resets the arena allocator; region: no-op).
+      m.init(tx);
+      // Transactional field access on the record at r.
+      { m.load(tx, r, n) } -> std::same_as<Value>;
+      m.store(tx, r, n, v);
+      // Transactional record allocation (zeroed) / free. alloc returns
+      // kNullRef on arena exhaustion with tx.ok() still true — exhaustion
+      // is not an abort, retrying will not help — and on a dead view.
+      { m.alloc(tx, n) } -> std::same_as<Ref>;
+      m.dealloc(tx, r, n);
+      // Quiescent field read for structural audits.
+      { cm.load_quiescent(r, n) } -> std::same_as<Value>;
+      // How many more `n`-word records the model could hand out, counted
+      // quiescently; nullopt when the model cannot say (region: the heap
+      // is shared). Lets boxed audits pin allocator conservation.
+      {
+        cm.free_capacity_quiescent(n)
+      } -> std::same_as<std::optional<std::uint64_t>>;
+      { cm.tm() } -> std::same_as<TransactionalMemory&>;
+    };
+
+// ---------------------------------------------------------------------------
+// Boxed layout: records in the TVarId space [base, base + total_words).
+//
+// Arena word offsets map 1:1 onto t-variables (word o <-> base + o):
+//   offset 0   bump cursor (next never-used word), transactional
+//   offset 1   free-list head Ref, transactional
+//   offset 2+  static records, then dynamically allocated records
+//
+// Freed records link through their word 0. The arena serves ONE dynamic
+// size class (containers have one node shape), which keeps the free list
+// a single untyped stack.
+class BoxedMemory {
+ public:
+  static constexpr std::size_t kOverheadWords = 2;
+
+  BoxedMemory(TransactionalMemory& tm, TVarId base, std::size_t total_words)
+      : tm_(tm), base_(base), total_words_(total_words) {
+    OFTM_ASSERT(base + total_words <= tm.num_tvars());
+  }
+
+  TransactionalMemory& tm() const noexcept { return tm_; }
+
+  Ref alloc_static(std::size_t words) {
+    OFTM_ASSERT_MSG(static_top_ + words <= total_words_,
+                    "BoxedMemory arena too small for container statics");
+    const Ref r = static_cast<Ref>(static_top_) + 1;
+    static_top_ += words;
+    return r;
+  }
+
+  // Arms the bump cursor past the statics and empties the free list;
+  // re-running a container's init() resets the whole arena with it.
+  void init(TxView& tx) {
+    tx.write(bump_var(), static_top_);
+    tx.write(free_var(), kNullRef);
+  }
+
+  Value load(TxView& tx, Ref r, std::size_t field) {
+    return tx.read(var_of(r, field));
+  }
+
+  void store(TxView& tx, Ref r, std::size_t field, Value v) {
+    tx.write(var_of(r, field), v);
+  }
+
+  Ref alloc(TxView& tx, std::size_t words) {
+    bind_size_class(words);
+    const Value head = tx.read(free_var());
+    if (!tx.ok()) return kNullRef;
+    Ref r = kNullRef;
+    if (head != kNullRef) {
+      tx.write(free_var(), tx.read(var_of(head, 0)));
+      r = head;
+    } else {
+      const Value bump = tx.read(bump_var());
+      if (!tx.ok()) return kNullRef;
+      if (bump + words > total_words_) return kNullRef;  // exhausted, ok()
+      tx.write(bump_var(), bump + words);
+      r = static_cast<Ref>(bump) + 1;
+    }
+    // Zero like region tx_alloc does: a recycled record still carries its
+    // previous life's fields (word 0 carries the free-list link).
+    for (std::size_t f = 0; f < words; ++f) store(tx, r, f, 0);
+    return r;
+  }
+
+  void dealloc(TxView& tx, Ref r, std::size_t words) {
+    bind_size_class(words);
+    tx.write(var_of(r, 0), tx.read(free_var()));
+    tx.write(free_var(), r);
+  }
+
+  Value load_quiescent(Ref r, std::size_t field) const {
+    return tm_.read_quiescent(var_of(r, field));
+  }
+
+  std::optional<std::uint64_t> free_capacity_quiescent(
+      std::size_t node_words) const {
+    const Value bump = tm_.read_quiescent(bump_var());
+    const std::uint64_t armed = bump > static_top_ ? bump : static_top_;
+    std::uint64_t n = (total_words_ - armed) / node_words;
+    Value cur = tm_.read_quiescent(free_var());
+    std::uint64_t steps = 0;
+    while (cur != kNullRef) {
+      if (++steps > total_words_) return total_words_;  // cycle: fail audits
+      ++n;
+      cur = tm_.read_quiescent(var_of(cur, 0));
+    }
+    return n;
+  }
+
+ private:
+  TVarId bump_var() const { return base_; }
+  TVarId free_var() const { return base_ + 1; }
+  TVarId var_of(Ref r, std::size_t field) const {
+    return base_ + static_cast<TVarId>(r - 1 + field);
+  }
+
+  // First alloc/dealloc fixes the arena's dynamic size class.
+  void bind_size_class(std::size_t words) {
+    std::size_t expected = 0;
+    if (!node_words_.compare_exchange_strong(expected, words,
+                                             std::memory_order_relaxed)) {
+      OFTM_ASSERT_MSG(expected == words,
+                      "BoxedMemory arena serves one node size class");
+    }
+  }
+
+  TransactionalMemory& tm_;
+  const TVarId base_;
+  const std::size_t total_words_;
+  std::size_t static_top_ = kOverheadWords;
+  std::atomic<std::size_t> node_words_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Region layout: records are raw heap words of a region-tier backend.
+// Requires tm.has_word_access(); base/total_words exist only so both
+// models construct with the same signature (the region heap is sized by
+// the backend — see workload::make_tm_for_containers).
+class RegionMemory {
+ public:
+  static constexpr std::size_t kOverheadWords = 0;
+
+  RegionMemory(TransactionalMemory& tm, TVarId /*base*/,
+               std::size_t /*total_words*/)
+      : tm_(tm) {
+    OFTM_ASSERT_MSG(tm.has_word_access(),
+                    "RegionMemory requires a region-tier backend");
+  }
+
+  TransactionalMemory& tm() const noexcept { return tm_; }
+
+  Ref alloc_static(std::size_t words) {
+    void* p = tm_.alloc_quiescent(words * sizeof(Value));
+    OFTM_ASSERT_MSG(p != nullptr, "region arena too small for container");
+    return static_cast<Ref>(reinterpret_cast<std::uintptr_t>(p));
+  }
+
+  void init(TxView&) {}
+
+  Value load(TxView& tx, Ref r, std::size_t field) {
+    return tx.read_at(word(r) + field);
+  }
+
+  void store(TxView& tx, Ref r, std::size_t field, Value v) {
+    tx.write_at(word(r) + field, v);
+  }
+
+  Ref alloc(TxView& tx, std::size_t words) {
+    return static_cast<Ref>(
+        reinterpret_cast<std::uintptr_t>(tx.alloc(words * sizeof(Value))));
+  }
+
+  void dealloc(TxView& tx, Ref r, std::size_t /*words*/) {
+    tx.dealloc(word(r));
+  }
+
+  Value load_quiescent(Ref r, std::size_t field) const {
+    return tm_.read_word_quiescent(word(r) + field);
+  }
+
+  std::optional<std::uint64_t> free_capacity_quiescent(std::size_t) const {
+    return std::nullopt;  // the heap is shared; audits skip conservation
+  }
+
+ private:
+  static Value* word(Ref r) {
+    return reinterpret_cast<Value*>(static_cast<std::uintptr_t>(r));
+  }
+
+  TransactionalMemory& tm_;
+};
+
+static_assert(MemoryModel<BoxedMemory>);
+static_assert(MemoryModel<RegionMemory>);
+
+// ---------------------------------------------------------------------------
+// Typed accessors over any model: fixed-shape records named by TxPtr<T>
+// with member-pointer field selection.
+
+template <typename T, MemoryModel M>
+TxPtr<T> tx_make(M& mem, TxView& tx) {
+  static_assert(sizeof(T) % sizeof(Value) == 0);
+  return TxPtr<T>{mem.alloc(tx, sizeof(T) / sizeof(Value))};
+}
+
+template <typename T, MemoryModel M>
+void tx_destroy(M& mem, TxView& tx, TxPtr<T> p) {
+  mem.dealloc(tx, p.ref, sizeof(T) / sizeof(Value));
+}
+
+template <MemoryModel M, typename T, typename F>
+Value tx_get(M& mem, TxView& tx, TxPtr<T> p, F T::*field) {
+  return mem.load(tx, p.ref, field_index(field));
+}
+
+template <MemoryModel M, typename T, typename F>
+void tx_set(M& mem, TxView& tx, TxPtr<T> p, F T::*field, Value v) {
+  mem.store(tx, p.ref, field_index(field), v);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime layout dispatch: picks the model matching the backend's
+// capability and calls f(ModelTag<M>{}), so one templated application
+// function runs on every factory recipe.
+
+template <typename M>
+struct ModelTag {
+  using type = M;
+};
+
+template <typename F>
+decltype(auto) with_memory_model(TransactionalMemory& tm, F&& f) {
+  if (tm.has_word_access()) return f(ModelTag<RegionMemory>{});
+  return f(ModelTag<BoxedMemory>{});
+}
+
+}  // namespace oftm::core

@@ -79,6 +79,36 @@ class RegionWordTm final : public TransactionalMemory {
     region_.try_abort(static_cast<Txn&>(t));
   }
 
+  // Word tier: the region-only capabilities, surfaced through the
+  // type-erased interface so the memory-model layer (and through it the
+  // ds:: containers) can lay data out as heap words on any region recipe
+  // the factory hands back.
+  bool has_word_access() const override { return true; }
+
+  std::optional<Value> read_word(Transaction& t, const Value* addr) override {
+    return region_.read(static_cast<Txn&>(t), addr);
+  }
+
+  bool write_word(Transaction& t, Value* addr, Value v) override {
+    return region_.write(static_cast<Txn&>(t), addr, v);
+  }
+
+  void* tx_alloc(Transaction& t, std::size_t bytes) override {
+    return region_.tx_alloc(static_cast<Txn&>(t), bytes);
+  }
+
+  bool tx_free(Transaction& t, void* p) override {
+    return region_.tx_free(static_cast<Txn&>(t), p);
+  }
+
+  void* alloc_quiescent(std::size_t bytes) override {
+    return region_.heap().alloc(bytes);
+  }
+
+  Value read_word_quiescent(const Value* addr) const override {
+    return region_.read_quiescent(addr);
+  }
+
   std::size_t num_tvars() const override { return num_tvars_; }
   Value read_quiescent(TVarId x) const override {
     return region_.read_quiescent(words_ + x);

@@ -41,6 +41,39 @@ std::unique_ptr<TmSession> TransactionalMemory::make_session(ThreadSlot slot) {
   return std::make_unique<detail::FallbackSession>(slot);
 }
 
+// Word-tier defaults: reaching these without the capability is a
+// programming error (the memory-model layer gates on has_word_access()).
+std::optional<Value> TransactionalMemory::read_word(Transaction&,
+                                                    const Value*) {
+  OFTM_ASSERT_MSG(false, "backend has no word-granular region heap");
+  return std::nullopt;
+}
+
+bool TransactionalMemory::write_word(Transaction&, Value*, Value) {
+  OFTM_ASSERT_MSG(false, "backend has no word-granular region heap");
+  return false;
+}
+
+void* TransactionalMemory::tx_alloc(Transaction&, std::size_t) {
+  OFTM_ASSERT_MSG(false, "backend has no word-granular region heap");
+  return nullptr;
+}
+
+bool TransactionalMemory::tx_free(Transaction&, void*) {
+  OFTM_ASSERT_MSG(false, "backend has no word-granular region heap");
+  return false;
+}
+
+void* TransactionalMemory::alloc_quiescent(std::size_t) {
+  OFTM_ASSERT_MSG(false, "backend has no word-granular region heap");
+  return nullptr;
+}
+
+Value TransactionalMemory::read_word_quiescent(const Value*) const {
+  OFTM_ASSERT_MSG(false, "backend has no word-granular region heap");
+  return 0;
+}
+
 void TransactionalMemory::release_sessions() noexcept {
   for (auto& cell : sessions_.cells) {
     cell.store(nullptr, std::memory_order_relaxed);

@@ -255,6 +255,38 @@ class TransactionalMemory {
   // tryA(Tk): request abort; always succeeds (returns A_k).
   virtual void try_abort(Transaction& txn) = 0;
 
+  // ---- Word tier (optional capability) ---------------------------------
+  //
+  // Region-backed TMs additionally transact over raw heap words: the
+  // ds:: memory-model layer (core/memory_model.hpp) programs against these
+  // to lay containers out as tx_alloc'd pointer-linked nodes and
+  // contiguous word arrays instead of boxed TVarId arithmetic. The
+  // default implementations assert: callers must gate on
+  // has_word_access() first (core::RegionMemory does).
+
+  // True iff this TM exposes the word-granular region heap below.
+  virtual bool has_word_access() const { return false; }
+
+  // Read/write the heap word at `addr` within txn. Same abort semantics
+  // as the TVarId operations: nullopt / false == abort event A_k.
+  virtual std::optional<Value> read_word(Transaction& txn, const Value* addr);
+  virtual bool write_word(Transaction& txn, Value* addr, Value v);
+
+  // Transactionally allocate a zeroed block (private until commit) /
+  // free a block (deferred until commit; forgotten on abort). tx_alloc
+  // returns nullptr on arena exhaustion — not an abort: retrying will not
+  // help, the caller decides.
+  virtual void* tx_alloc(Transaction& txn, std::size_t bytes);
+  virtual bool tx_free(Transaction& txn, void* p);
+
+  // Setup-time (quiescent) heap allocation for container roots and word
+  // arrays; lives until the TM is destroyed.
+  virtual void* alloc_quiescent(std::size_t bytes);
+
+  // Committed value of a heap word observed outside any transaction
+  // (quiescence guaranteed by the caller, as with read_quiescent).
+  virtual Value read_word_quiescent(const Value* addr) const;
+
   // Number of t-variables this instance was created with.
   virtual std::size_t num_tvars() const = 0;
 

@@ -1,10 +1,26 @@
-// THashMap: fixed-capacity open-addressing hash map over transactional
-// registers (linear probing, tombstone deletion).
+// THashMap: fixed-capacity open-addressing hash map (linear probing,
+// tombstone deletion), written once against the core::MemoryModel concept
+// and instantiated over both layouts.
 //
-// Layout (starting at `base`):
-//   base + 0        live-entry count
-//   base + 1 + 2i   slot i key   (kEmptyKey / kTombstone sentinels)
-//   base + 2 + 2i   slot i value
+// Layout: one static record of 1 + 2*capacity words —
+//   field 0          live-entry count
+//   field 1 + 2i     slot i key   (kEmptyKey / kTombstone sentinels)
+//   field 2 + 2i     slot i value
+// On the boxed model the record is TVarId arithmetic; on the region model
+// it is a contiguous word array in the backend's heap — the probe table
+// the region tier's cache-locality comparison is about.
+//
+// Tombstone hygiene, two halves:
+//   insert  reuses the first tombstone seen on the probe path instead of
+//           appending at the first empty slot;
+//   erase   converts the trailing tombstone run back to empty whenever the
+//           slot after the erased one is empty. Sound under +1 linear
+//           probing: a lookup only travels past a slot because it was
+//           non-empty, and no stored key has an empty slot earlier on its
+//           own probe path — so a tombstone whose successor is empty is on
+//           nobody's path and may revert. Together they keep probe lengths
+//           stable under delete/insert churn instead of degrading forever
+//           (pinned by DsConformance HashMapProbeLengthStableUnderChurn).
 //
 // Keys must avoid the two sentinels; capacity must be a power of two. All
 // operations compose through TxView like the other ds:: containers.
@@ -14,33 +30,36 @@
 #include <optional>
 
 #include "core/atomically.hpp"
+#include "core/memory_model.hpp"
 #include "core/types.hpp"
 #include "runtime/assert.hpp"
 #include "runtime/xorshift.hpp"
 
 namespace oftm::ds {
 
-class THashMap {
+template <core::MemoryModel M>
+class THashMapT {
  public:
   static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
   static constexpr std::uint64_t kTombstone = ~std::uint64_t{0} - 1;
 
   static constexpr std::size_t tvars_needed(std::uint32_t capacity) {
-    return 1 + 2 * static_cast<std::size_t>(capacity);
+    return M::kOverheadWords + 1 + 2 * static_cast<std::size_t>(capacity);
   }
 
-  THashMap(core::TransactionalMemory& tm, core::TVarId base,
-           std::uint32_t capacity)
-      : tm_(tm), base_(base), capacity_(capacity) {
+  THashMapT(core::TransactionalMemory& tm, core::TVarId base,
+            std::uint32_t capacity)
+      : mem_(tm, base, tvars_needed(capacity)), capacity_(capacity) {
     OFTM_ASSERT((capacity & (capacity - 1)) == 0 && capacity >= 2);
-    OFTM_ASSERT(base + tvars_needed(capacity) <= tm.num_tvars());
+    root_ = mem_.alloc_static(1 + 2 * static_cast<std::size_t>(capacity));
   }
 
   void init() {
-    core::atomically(tm_, [&](core::TxView& tx) {
-      tx.write(count_var(), 0);
+    core::atomically(mem_.tm(), [&](core::TxView& tx) {
+      mem_.init(tx);
+      mem_.store(tx, root_, kCount, 0);
       for (std::uint32_t i = 0; i < capacity_; ++i) {
-        tx.write(key_var(i), kEmptyKey);
+        mem_.store(tx, root_, key_field(i), kEmptyKey);
       }
     });
   }
@@ -55,10 +74,10 @@ class THashMap {
     std::uint32_t first_tombstone = capacity_;
     for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
       const std::uint32_t i = slot(key, probe);
-      const std::uint64_t k = tx.read(key_var(i));
+      const std::uint64_t k = mem_.load(tx, root_, key_field(i));
       if (!tx.ok()) return false;  // doomed attempt
       if (k == key) {
-        tx.write(val_var(i), value);
+        mem_.store(tx, root_, val_field(i), value);
         return false;
       }
       if (k == kTombstone && first_tombstone == capacity_) {
@@ -68,16 +87,12 @@ class THashMap {
       if (k == kEmptyKey) {
         const std::uint32_t target =
             first_tombstone != capacity_ ? first_tombstone : i;
-        tx.write(key_var(target), key);
-        tx.write(val_var(target), value);
-        tx.write(count_var(), tx.read(count_var()) + 1);
+        place(tx, target, key, value);
         return true;
       }
     }
     if (first_tombstone != capacity_) {
-      tx.write(key_var(first_tombstone), key);
-      tx.write(val_var(first_tombstone), value);
-      tx.write(count_var(), tx.read(count_var()) + 1);
+      place(tx, first_tombstone, key, value);
       return true;
     }
     OFTM_ASSERT_MSG(false, "THashMap capacity exhausted");
@@ -87,9 +102,9 @@ class THashMap {
   std::optional<core::Value> get(core::TxView& tx, std::uint64_t key) {
     for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
       const std::uint32_t i = slot(key, probe);
-      const std::uint64_t k = tx.read(key_var(i));
+      const std::uint64_t k = mem_.load(tx, root_, key_field(i));
       if (!tx.ok()) return std::nullopt;  // doomed attempt
-      if (k == key) return tx.read(val_var(i));
+      if (k == key) return mem_.load(tx, root_, val_field(i));
       if (k == kEmptyKey) return std::nullopt;
     }
     return std::nullopt;
@@ -98,11 +113,12 @@ class THashMap {
   bool erase(core::TxView& tx, std::uint64_t key) {
     for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
       const std::uint32_t i = slot(key, probe);
-      const std::uint64_t k = tx.read(key_var(i));
+      const std::uint64_t k = mem_.load(tx, root_, key_field(i));
       if (!tx.ok()) return false;  // doomed attempt
       if (k == key) {
-        tx.write(key_var(i), kTombstone);
-        tx.write(count_var(), tx.read(count_var()) - 1);
+        mem_.store(tx, root_, key_field(i), kTombstone);
+        mem_.store(tx, root_, kCount, mem_.load(tx, root_, kCount) - 1);
+        trim_tombstones(tx, i);
         return true;
       }
       if (k == kEmptyKey) return false;
@@ -110,25 +126,65 @@ class THashMap {
     return false;
   }
 
-  std::uint64_t size(core::TxView& tx) { return tx.read(count_var()); }
+  std::uint64_t size(core::TxView& tx) { return mem_.load(tx, root_, kCount); }
 
   std::uint64_t size_quiescent() const {
-    return tm_.read_quiescent(count_var());
+    return mem_.load_quiescent(root_, kCount);
+  }
+
+  // Probes a lookup of `key` would take before terminating (found or hit
+  // empty), observed quiescently. The churn regression test pins this.
+  std::uint64_t probe_length_quiescent(std::uint64_t key) const {
+    for (std::uint32_t probe = 0; probe < capacity_; ++probe) {
+      const std::uint64_t k =
+          mem_.load_quiescent(root_, key_field(slot(key, probe)));
+      if (k == key || k == kEmptyKey) return probe + 1;
+    }
+    return capacity_;
   }
 
  private:
-  core::TVarId count_var() const { return base_; }
-  core::TVarId key_var(std::uint32_t i) const { return base_ + 1 + 2 * i; }
-  core::TVarId val_var(std::uint32_t i) const { return base_ + 2 + 2 * i; }
+  static constexpr std::size_t kCount = 0;
+  std::size_t key_field(std::uint32_t i) const {
+    return 1 + 2 * static_cast<std::size_t>(i);
+  }
+  std::size_t val_field(std::uint32_t i) const {
+    return 2 + 2 * static_cast<std::size_t>(i);
+  }
 
   std::uint32_t slot(std::uint64_t key, std::uint32_t probe) const {
     return static_cast<std::uint32_t>((runtime::mix64(key) + probe) &
                                       (capacity_ - 1));
   }
 
-  core::TransactionalMemory& tm_;
-  const core::TVarId base_;
+  void place(core::TxView& tx, std::uint32_t i, std::uint64_t key,
+             core::Value value) {
+    mem_.store(tx, root_, key_field(i), key);
+    mem_.store(tx, root_, val_field(i), value);
+    mem_.store(tx, root_, kCount, mem_.load(tx, root_, kCount) + 1);
+  }
+
+  // Erase-time hygiene: if the physical successor of the erased slot is
+  // empty, walk backwards from the erased slot converting the contiguous
+  // tombstone run to empty (see the header comment for why this is sound).
+  void trim_tombstones(core::TxView& tx, std::uint32_t i) {
+    const std::uint64_t after =
+        mem_.load(tx, root_, key_field((i + 1) & (capacity_ - 1)));
+    if (!tx.ok() || after != kEmptyKey) return;
+    for (std::uint32_t n = 0; n < capacity_; ++n) {
+      const std::uint64_t k = mem_.load(tx, root_, key_field(i));
+      if (!tx.ok() || k != kTombstone) return;
+      mem_.store(tx, root_, key_field(i), kEmptyKey);
+      i = (i + capacity_ - 1) & (capacity_ - 1);
+    }
+  }
+
+  M mem_;
+  core::Ref root_ = core::kNullRef;
   const std::uint32_t capacity_;
 };
+
+// The boxed instantiation keeps the historical name and API.
+using THashMap = THashMapT<core::BoxedMemory>;
 
 }  // namespace oftm::ds

@@ -1,4 +1,5 @@
-// TListSet: a sorted linked-list set over transactional registers.
+// TListSet: a sorted linked-list set, written once against the
+// core::MemoryModel concept and instantiated over both layouts.
 //
 // The paper's opening example of why TM exists: "a process that wants to
 // access a shared data structure executes some operations on this structure
@@ -7,48 +8,53 @@
 // move between two sets — see examples/linked_list_set.cpp), which is the
 // composability the introduction contrasts with locks [16].
 //
-// Layout (within the TM's t-variable space, starting at `base`):
-//   base + 0        head index (0 = null, i >= 1 = node i-1)
-//   base + 1        free-list head index
-//   base + 2        element count
-//   base + 3 + 2i   node i key
-//   base + 4 + 2i   node i next-index
-//
-// Node storage is a transactional free list, so allocation itself is
-// transactional: an aborted insert leaks nothing.
+// Layout: a 2-word static root {head, count} plus capacity dynamically
+// allocated 2-word nodes {key, next} linked by Ref. On the boxed model the
+// nodes live in the container's TVarId arena behind its transactional
+// allocator; on the region model they are tx_alloc'd heap words — either
+// way an aborted insert leaks nothing, because allocation itself is
+// transactional.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "core/atomically.hpp"
+#include "core/memory_model.hpp"
 #include "core/types.hpp"
 #include "runtime/assert.hpp"
 
 namespace oftm::ds {
 
-class TListSet {
+template <core::MemoryModel M>
+class TListSetT {
  public:
-  // Number of t-variables a set with `capacity` nodes occupies.
+  struct Node {
+    core::Value key;
+    core::Value next;  // Ref of the successor, kNullRef at the tail
+  };
+  static constexpr std::size_t kNodeWords =
+      sizeof(Node) / sizeof(core::Value);
+
+  // Number of words (boxed: t-variables) a set with `capacity` nodes
+  // occupies, model overhead included.
   static constexpr std::size_t tvars_needed(std::uint32_t capacity) {
-    return 3 + 2 * static_cast<std::size_t>(capacity);
+    return M::kOverheadWords + kRootWords +
+           kNodeWords * static_cast<std::size_t>(capacity);
   }
 
-  TListSet(core::TransactionalMemory& tm, core::TVarId base,
-           std::uint32_t capacity)
-      : tm_(tm), base_(base), capacity_(capacity) {
-    OFTM_ASSERT(base + tvars_needed(capacity) <= tm.num_tvars());
+  TListSetT(core::TransactionalMemory& tm, core::TVarId base,
+            std::uint32_t capacity)
+      : mem_(tm, base, tvars_needed(capacity)), capacity_(capacity) {
+    root_ = mem_.alloc_static(kRootWords);
   }
 
-  // One-time initialization (runs its own committed transaction): threads
-  // all nodes onto the free list.
+  // One-time initialization (runs its own committed transaction).
   void init() {
-    core::atomically(tm_, [&](core::TxView& tx) {
-      tx.write(head_var(), kNull);
-      tx.write(count_var(), 0);
-      for (std::uint32_t i = 0; i < capacity_; ++i) {
-        tx.write(next_var(i), i + 1 < capacity_ ? index_of(i + 1) : kNull);
-      }
-      tx.write(free_var(), capacity_ > 0 ? index_of(0) : kNull);
+    core::atomically(mem_.tm(), [&](core::TxView& tx) {
+      mem_.init(tx);
+      mem_.store(tx, root_, kHead, core::kNullRef);
+      mem_.store(tx, root_, kCount, 0);
     });
   }
 
@@ -58,117 +64,108 @@ class TListSet {
   bool insert(core::TxView& tx, std::uint64_t key) {
     auto [prev, cur] = locate(tx, key);
     if (!tx.ok()) return false;  // doomed attempt: poison values, bail out
-    if (cur != kNull && tx.read(key_var(node_of(cur))) == key) {
+    if (cur && key_of(tx, cur) == key) {
       return false;  // already present
     }
-    const core::Value fresh = tx.read(free_var());
+    const core::Value count = mem_.load(tx, root_, kCount);
     if (!tx.ok()) return false;
-    OFTM_ASSERT_MSG(fresh != kNull, "TListSet capacity exhausted");
-    const std::uint32_t node = node_of(fresh);
-    tx.write(free_var(), tx.read(next_var(node)));
-    tx.write(key_var(node), key);
-    tx.write(next_var(node), cur);
-    link(tx, prev, fresh);
-    tx.write(count_var(), tx.read(count_var()) + 1);
+    OFTM_ASSERT_MSG(count < capacity_, "TListSet capacity exhausted");
+    const core::TxPtr<Node> node = core::tx_make<Node>(mem_, tx);
+    if (!tx.ok()) return false;
+    OFTM_ASSERT_MSG(node, "TListSet arena exhausted");
+    core::tx_set(mem_, tx, node, &Node::key, key);
+    core::tx_set(mem_, tx, node, &Node::next, cur.ref);
+    link(tx, prev, node);
+    mem_.store(tx, root_, kCount, count + 1);
     return true;
   }
 
-  // Removes key; false if absent. The node returns to the free list.
+  // Removes key; false if absent. The node returns to its allocator.
   bool erase(core::TxView& tx, std::uint64_t key) {
     auto [prev, cur] = locate(tx, key);
     if (!tx.ok()) return false;  // doomed attempt (see insert)
-    if (cur == kNull || tx.read(key_var(node_of(cur))) != key) {
+    if (!cur || key_of(tx, cur) != key) {
       return false;
     }
-    const std::uint32_t node = node_of(cur);
-    link(tx, prev, tx.read(next_var(node)));
-    tx.write(next_var(node), tx.read(free_var()));
-    tx.write(free_var(), cur);
-    tx.write(count_var(), tx.read(count_var()) - 1);
+    link(tx, prev, core::TxPtr<Node>{core::tx_get(mem_, tx, cur, &Node::next)});
+    core::tx_destroy(mem_, tx, cur);
+    mem_.store(tx, root_, kCount, mem_.load(tx, root_, kCount) - 1);
     return true;
   }
 
   bool contains(core::TxView& tx, std::uint64_t key) {
     auto [prev, cur] = locate(tx, key);
     (void)prev;
-    return cur != kNull && tx.read(key_var(node_of(cur))) == key;
+    return cur && key_of(tx, cur) == key;
   }
 
-  std::uint64_t size(core::TxView& tx) { return tx.read(count_var()); }
+  std::uint64_t size(core::TxView& tx) { return mem_.load(tx, root_, kCount); }
 
   // Quiescent structural audit (outside transactions; caller guarantees no
-  // concurrency): sortedness, count consistency, free-list integrity.
+  // concurrency): sortedness, count consistency, and — when the model can
+  // count its free records (boxed) — allocator conservation.
   bool audit_quiescent() const {
     std::uint64_t counted = 0;
     std::uint64_t prev_key = 0;
     bool first = true;
-    core::Value cur = tm_.read_quiescent(head_var());
-    while (cur != kNull) {
+    core::Ref cur = mem_.load_quiescent(root_, kHead);
+    const std::size_t key_field = core::field_index(&Node::key);
+    const std::size_t next_field = core::field_index(&Node::next);
+    while (cur != core::kNullRef) {
       if (counted > capacity_) return false;  // cycle
-      const std::uint64_t k = tm_.read_quiescent(key_var(node_of(cur)));
+      const std::uint64_t k = mem_.load_quiescent(cur, key_field);
       if (!first && k <= prev_key) return false;  // unsorted / duplicate
       prev_key = k;
       first = false;
       ++counted;
-      cur = tm_.read_quiescent(next_var(node_of(cur)));
+      cur = mem_.load_quiescent(cur, next_field);
     }
-    if (counted != tm_.read_quiescent(count_var())) return false;
-    // Free list: remaining nodes, no overlap assumed by length check.
-    std::uint64_t free_count = 0;
-    cur = tm_.read_quiescent(free_var());
-    while (cur != kNull) {
-      if (free_count > capacity_) return false;
-      ++free_count;
-      cur = tm_.read_quiescent(next_var(node_of(cur)));
+    if (counted != mem_.load_quiescent(root_, kCount)) return false;
+    if (const auto free_records = mem_.free_capacity_quiescent(kNodeWords)) {
+      return counted + *free_records == capacity_;
     }
-    return counted + free_count == capacity_;
+    return true;
   }
 
  private:
-  static constexpr core::Value kNull = 0;
-  static constexpr core::Value index_of(std::uint32_t node) {
-    return node + 1;
-  }
-  static constexpr std::uint32_t node_of(core::Value index) {
-    return static_cast<std::uint32_t>(index - 1);
+  static constexpr std::size_t kRootWords = 2;
+  static constexpr std::size_t kHead = 0;
+  static constexpr std::size_t kCount = 1;
+
+  std::uint64_t key_of(core::TxView& tx, core::TxPtr<Node> node) {
+    return core::tx_get(mem_, tx, node, &Node::key);
   }
 
-  core::TVarId head_var() const { return base_; }
-  core::TVarId free_var() const { return base_ + 1; }
-  core::TVarId count_var() const { return base_ + 2; }
-  core::TVarId key_var(std::uint32_t node) const {
-    return base_ + 3 + 2 * node;
-  }
-  core::TVarId next_var(std::uint32_t node) const {
-    return base_ + 4 + 2 * node;
-  }
-
-  // Finds the first node with key >= `key`; returns (prev index, cur
-  // index), kNull prev meaning head. The traversal is bounded by
-  // transactional reads, so it must stop on a dead view (poison indices
-  // are not a consistent snapshot and could otherwise cycle).
-  std::pair<core::Value, core::Value> locate(core::TxView& tx,
-                                             std::uint64_t key) {
-    core::Value prev = kNull;
-    core::Value cur = tx.read(head_var());
-    while (tx.ok() && cur != kNull && tx.read(key_var(node_of(cur))) < key) {
+  // Finds the first node with key >= `key`; returns (prev, cur), null prev
+  // meaning head. The traversal is bounded by transactional reads, so it
+  // must stop on a dead view (poison refs are not a consistent snapshot
+  // and could otherwise cycle).
+  std::pair<core::TxPtr<Node>, core::TxPtr<Node>> locate(core::TxView& tx,
+                                                         std::uint64_t key) {
+    core::TxPtr<Node> prev{core::kNullRef};
+    core::TxPtr<Node> cur{mem_.load(tx, root_, kHead)};
+    while (tx.ok() && cur && key_of(tx, cur) < key) {
       prev = cur;
-      cur = tx.read(next_var(node_of(cur)));
+      cur = core::TxPtr<Node>{core::tx_get(mem_, tx, cur, &Node::next)};
     }
     return {prev, cur};
   }
 
-  void link(core::TxView& tx, core::Value prev, core::Value target) {
-    if (prev == kNull) {
-      tx.write(head_var(), target);
+  void link(core::TxView& tx, core::TxPtr<Node> prev,
+            core::TxPtr<Node> target) {
+    if (!prev) {
+      mem_.store(tx, root_, kHead, target.ref);
     } else {
-      tx.write(next_var(node_of(prev)), target);
+      core::tx_set(mem_, tx, prev, &Node::next, target.ref);
     }
   }
 
-  core::TransactionalMemory& tm_;
-  const core::TVarId base_;
+  M mem_;
+  core::Ref root_ = core::kNullRef;
   const std::uint32_t capacity_;
 };
+
+// The boxed instantiation keeps the historical name and API.
+using TListSet = TListSetT<core::BoxedMemory>;
 
 }  // namespace oftm::ds

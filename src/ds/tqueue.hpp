@@ -1,83 +1,94 @@
-// TQueue: a bounded FIFO ring buffer over transactional registers.
+// TQueue: a bounded FIFO ring buffer, written once against the
+// core::MemoryModel concept and instantiated over both layouts.
 //
-// Layout (starting at `base`):
-//   base + 0      head position (dequeue side, monotonically increasing)
-//   base + 1      tail position (enqueue side, monotonically increasing)
-//   base + 2 + i  ring slots (position mod capacity)
+// Layout: one static record of 2 + capacity words —
+//   field 0       head position (dequeue side, monotonically increasing)
+//   field 1       tail position (enqueue side, monotonically increasing)
+//   field 2 + i   ring slots (position mod capacity)
 //
 // Monotone positions avoid the classic full/empty ambiguity; positions wrap
-// only after 2^64 operations.
+// only after 2^64 operations. dequeue deliberately has no ok() check
+// between its two position reads: on a dead view both reads poison to 0,
+// head == tail reads as empty, and the attempt resolves to a retry — the
+// composition DsConformance QueueDequeueOnEmptyComposesWithPoison pins.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
 #include "core/atomically.hpp"
+#include "core/memory_model.hpp"
 #include "core/types.hpp"
 #include "runtime/assert.hpp"
 
 namespace oftm::ds {
 
-class TQueue {
+template <core::MemoryModel M>
+class TQueueT {
  public:
   static constexpr std::size_t tvars_needed(std::uint32_t capacity) {
-    return 2 + static_cast<std::size_t>(capacity);
+    return M::kOverheadWords + 2 + static_cast<std::size_t>(capacity);
   }
 
-  TQueue(core::TransactionalMemory& tm, core::TVarId base,
-         std::uint32_t capacity)
-      : tm_(tm), base_(base), capacity_(capacity) {
+  TQueueT(core::TransactionalMemory& tm, core::TVarId base,
+          std::uint32_t capacity)
+      : mem_(tm, base, tvars_needed(capacity)), capacity_(capacity) {
     OFTM_ASSERT(capacity >= 1);
-    OFTM_ASSERT(base + tvars_needed(capacity) <= tm.num_tvars());
+    root_ = mem_.alloc_static(2 + static_cast<std::size_t>(capacity));
   }
 
   void init() {
-    core::atomically(tm_, [&](core::TxView& tx) {
-      tx.write(head_var(), 0);
-      tx.write(tail_var(), 0);
+    core::atomically(mem_.tm(), [&](core::TxView& tx) {
+      mem_.init(tx);
+      mem_.store(tx, root_, kHead, 0);
+      mem_.store(tx, root_, kTail, 0);
     });
   }
 
   // False if full (or the attempt is doomed — tx.ok() false — in which
   // case atomically() discards it and retries).
   bool enqueue(core::TxView& tx, core::Value v) {
-    const std::uint64_t head = tx.read(head_var());
-    const std::uint64_t tail = tx.read(tail_var());
+    const std::uint64_t head = mem_.load(tx, root_, kHead);
+    const std::uint64_t tail = mem_.load(tx, root_, kTail);
     if (!tx.ok()) return false;
     if (tail - head >= capacity_) return false;
-    tx.write(slot_var(tail), v);
-    tx.write(tail_var(), tail + 1);
+    mem_.store(tx, root_, slot_field(tail), v);
+    mem_.store(tx, root_, kTail, tail + 1);
     return true;
   }
 
   // nullopt if empty.
   std::optional<core::Value> dequeue(core::TxView& tx) {
-    const std::uint64_t head = tx.read(head_var());
-    const std::uint64_t tail = tx.read(tail_var());
+    const std::uint64_t head = mem_.load(tx, root_, kHead);
+    const std::uint64_t tail = mem_.load(tx, root_, kTail);
     if (head == tail) return std::nullopt;
-    const core::Value v = tx.read(slot_var(head));
-    tx.write(head_var(), head + 1);
+    const core::Value v = mem_.load(tx, root_, slot_field(head));
+    mem_.store(tx, root_, kHead, head + 1);
     return v;
   }
 
   std::uint64_t size(core::TxView& tx) {
-    return tx.read(tail_var()) - tx.read(head_var());
+    return mem_.load(tx, root_, kTail) - mem_.load(tx, root_, kHead);
   }
 
   std::uint64_t size_quiescent() const {
-    return tm_.read_quiescent(tail_var()) - tm_.read_quiescent(head_var());
+    return mem_.load_quiescent(root_, kTail) -
+           mem_.load_quiescent(root_, kHead);
   }
 
  private:
-  core::TVarId head_var() const { return base_; }
-  core::TVarId tail_var() const { return base_ + 1; }
-  core::TVarId slot_var(std::uint64_t pos) const {
-    return base_ + 2 + static_cast<core::TVarId>(pos % capacity_);
+  static constexpr std::size_t kHead = 0;
+  static constexpr std::size_t kTail = 1;
+  std::size_t slot_field(std::uint64_t pos) const {
+    return 2 + static_cast<std::size_t>(pos % capacity_);
   }
 
-  core::TransactionalMemory& tm_;
-  const core::TVarId base_;
+  M mem_;
+  core::Ref root_ = core::kNullRef;
   const std::uint32_t capacity_;
 };
+
+// The boxed instantiation keeps the historical name and API.
+using TQueue = TQueueT<core::BoxedMemory>;
 
 }  // namespace oftm::ds

@@ -73,6 +73,33 @@ class RecordingTm final : public core::TransactionalMemory {
   bool write(core::Transaction& txn, core::TVarId x, core::Value v) override;
   bool try_commit(core::Transaction& txn) override;
   void try_abort(core::Transaction& txn) override;
+
+  // Word-tier operations forward UNRECORDED: the Event/TxRecord vocabulary
+  // (and check_mvsg's unique-writes discipline) speaks TVarId, so checked
+  // runs over region containers record only the scratch TVarId ops riding
+  // in the same transactions and check that projection of the history.
+  bool has_word_access() const override { return inner_.has_word_access(); }
+  std::optional<core::Value> read_word(core::Transaction& txn,
+                                       const core::Value* addr) override {
+    return inner_.read_word(txn, addr);
+  }
+  bool write_word(core::Transaction& txn, core::Value* addr,
+                  core::Value v) override {
+    return inner_.write_word(txn, addr, v);
+  }
+  void* tx_alloc(core::Transaction& txn, std::size_t bytes) override {
+    return inner_.tx_alloc(txn, bytes);
+  }
+  bool tx_free(core::Transaction& txn, void* p) override {
+    return inner_.tx_free(txn, p);
+  }
+  void* alloc_quiescent(std::size_t bytes) override {
+    return inner_.alloc_quiescent(bytes);
+  }
+  core::Value read_word_quiescent(const core::Value* addr) const override {
+    return inner_.read_word_quiescent(addr);
+  }
+
   std::size_t num_tvars() const override { return inner_.num_tvars(); }
   core::Value read_quiescent(core::TVarId x) const override {
     return inner_.read_quiescent(x);

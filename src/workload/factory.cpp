@@ -87,6 +87,24 @@ std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
   throw std::invalid_argument("unknown TM backend: " + name);
 }
 
+std::unique_ptr<core::TransactionalMemory> make_tm_for_containers(
+    const std::string& name, std::size_t words) {
+  if (name == "tl2-region" || name == "norec-region") {
+    // The t-var word array, the containers' statics (≈ the same words
+    // again), node churn, and slack for size-class rounding.
+    core::RegionOptions options;
+    options.capacity_bytes =
+        3 * words * sizeof(core::Value) + (std::size_t{2} << 20);
+    if (name == "tl2-region") {
+      return std::make_unique<core::RegionWordTm<lock::Tl2Region>>(words,
+                                                                   options);
+    }
+    return std::make_unique<core::RegionWordTm<norec::NorecRegion>>(words,
+                                                                    options);
+  }
+  return make_tm(name, words);
+}
+
 const std::vector<std::string>& default_backends() {
   static const std::vector<std::string> names = {
       "dstm", "tl", "tl2", "coarse", "norec", "foctm-hinted"};

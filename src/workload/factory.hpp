@@ -45,6 +45,14 @@ namespace oftm::workload {
 std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
                                                    std::size_t num_tvars);
 
+// Container-sizing entry point: `words` is the ds:: layer's tvars_needed
+// total. Boxed recipes need exactly that many t-variables; region recipes
+// keep the same scratch t-var array but must also fit the containers'
+// statics and node churn in the region heap, so their arena is derived
+// from `words` with extra headroom instead of the plain num_tvars formula.
+std::unique_ptr<core::TransactionalMemory> make_tm_for_containers(
+    const std::string& name, std::size_t words);
+
 // Backends every comparative bench sweeps by default.
 const std::vector<std::string>& default_backends();
 

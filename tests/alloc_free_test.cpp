@@ -19,8 +19,10 @@
 #include <new>
 
 #include "core/atomically.hpp"
+#include "core/memory_model.hpp"
 #include "core/region_tm.hpp"
 #include "core/tm.hpp"
+#include "ds/tlist.hpp"
 #include "lock/tl2.hpp"
 #include "lock/tl2_region.hpp"
 #include "norec/norec.hpp"
@@ -180,6 +182,38 @@ TEST(AllocFree, RegionAllocFreeChurnSteadyStateAllocatesNothing) {
   g_counting.store(false, std::memory_order_relaxed);
   EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
       << "transactional alloc/free leaked onto the process heap";
+}
+
+// The same property one layer up: a region-instantiated container whose
+// insert/erase churn routes every node through tx_alloc/tx_free. Steady
+// state recycles nodes via the size-class free lists and the epoch retire
+// ring without ever reaching the process heap.
+TEST(AllocFree, RegionContainerChurnSteadyStateAllocatesNothing) {
+  constexpr std::uint32_t kCap = 64;
+  core::RegionOptions options;
+  options.capacity_bytes = 1 << 20;
+  core::RegionWordTm<lock::Tl2Region> tm(
+      ds::TListSetT<core::RegionMemory>::tvars_needed(kCap), options);
+  ds::TListSetT<core::RegionMemory> set(tm, 0, kCap);
+  set.init();
+
+  const auto churn = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t key = static_cast<std::uint64_t>(i % 32) + 1;
+      core::atomically(tm, [&](core::TxView& tx) {
+        if (!set.erase(tx, key)) set.insert(tx, key);
+      });
+    }
+  };
+  churn(600);  // warm-up: node free lists, retire ring, descriptor logs
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  churn(1000);
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "region container churn leaked onto the process heap";
+  EXPECT_TRUE(set.audit_quiescent());
 }
 
 TEST(AllocFree, AtomicallyRetryLoopAllocatesNothingAfterWarmup) {

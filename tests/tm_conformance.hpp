@@ -82,6 +82,27 @@ class SessionTierTm final : public core::TransactionalMemory {
   void try_abort(core::Transaction& txn) override {
     inner_->try_abort(unwrap(txn));
   }
+  bool has_word_access() const override { return inner_->has_word_access(); }
+  std::optional<core::Value> read_word(core::Transaction& txn,
+                                       const core::Value* addr) override {
+    return inner_->read_word(unwrap(txn), addr);
+  }
+  bool write_word(core::Transaction& txn, core::Value* addr,
+                  core::Value v) override {
+    return inner_->write_word(unwrap(txn), addr, v);
+  }
+  void* tx_alloc(core::Transaction& txn, std::size_t bytes) override {
+    return inner_->tx_alloc(unwrap(txn), bytes);
+  }
+  bool tx_free(core::Transaction& txn, void* p) override {
+    return inner_->tx_free(unwrap(txn), p);
+  }
+  void* alloc_quiescent(std::size_t bytes) override {
+    return inner_->alloc_quiescent(bytes);
+  }
+  core::Value read_word_quiescent(const core::Value* addr) const override {
+    return inner_->read_word_quiescent(addr);
+  }
   std::size_t num_tvars() const override { return inner_->num_tvars(); }
   core::Value read_quiescent(core::TVarId x) const override {
     return inner_->read_quiescent(x);
