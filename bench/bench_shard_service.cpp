@@ -1,0 +1,89 @@
+// SVC1 — the sharded KV service cost curve: throughput and tail latency
+// of the mixed OLTP workload as the keyspace is partitioned across more
+// TM instances, on one boxed and one region recipe.
+//
+// What the sweep shows: single-shard runs pay no coordination (every
+// transfer takes the fast path); as the shard count grows, the fraction
+// of transfers crossing shards approaches (S-1)/S and each one pays the
+// two-phase commit built from per-shard transactions — the regime
+// "Distributed Transactional Systems Cannot Be Fast" (PAPERS.md) puts a
+// lower bound on. The p99/p999 fields carry the tail that the protocol's
+// extra transactions and busy-retries produce.
+//
+// Rows: {tl2, tl2-region} × shards {1,2,4,8} × clients {1,4,16}, each a
+// 0.25 s duration-mode run. `--quick` runs the 4-row CI slice (both
+// backends × shards {1,4} × 4 clients) with per-row configs identical to
+// the full sweep's, so the bench-diff matches them against the committed
+// baseline (bench/baselines/REPORT_bench_shard_service.jsonl).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace oftm;
+
+svc::ServiceConfig row_config(const std::string& backend, int shards,
+                              int clients) {
+  svc::ServiceConfig cfg;
+  cfg.backend = backend;
+  cfg.num_shards = shards;
+  cfg.clients = clients;
+  cfg.keys = 2048;
+  cfg.run_seconds = 0.25;
+  cfg.ops_per_client = 0;  // duration mode
+  return cfg;
+}
+
+// Run one row: execute, audit, emit the report line, print a summary row.
+bool run_row(const svc::ServiceConfig& cfg) {
+  const svc::ServiceRun run = svc::run_service(cfg);
+  svc::emit_service_run("SVC1", "mixed_oltp", cfg, run.result);
+  const auto& r = run.result;
+  const double two_phase_share =
+      r.transfers_committed > 0
+          ? static_cast<double>(r.coord.committed_two_phase) /
+                static_cast<double>(r.transfers_committed)
+          : 0.0;
+  std::printf(
+      "%-12s S=%d C=%-2d  %9.0f ops/s  2pc %4.0f%%  rollbacks %-6llu "
+      "p99 %8llu ns  p999 %8llu ns  audit %s\n",
+      cfg.backend.c_str(), cfg.num_shards, cfg.clients, r.throughput(),
+      100.0 * two_phase_share,
+      static_cast<unsigned long long>(r.coord.rollbacks),
+      static_cast<unsigned long long>(r.op_latency_ns.quantile(0.99)),
+      static_cast<unsigned long long>(r.op_latency_ns.quantile(0.999)),
+      run.audit_ok ? "OK" : run.audit_why.c_str());
+  return run.audit_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick =
+      argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  const std::vector<std::string> backends = {"tl2", "tl2-region"};
+  const std::vector<int> shard_counts =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> client_counts =
+      quick ? std::vector<int>{4} : std::vector<int>{1, 4, 16};
+
+  std::puts("== SVC1: sharded KV service — coordination cost curve =======");
+  bool all_ok = true;
+  for (const std::string& backend : backends) {
+    for (const int shards : shard_counts) {
+      for (const int clients : client_counts) {
+        all_ok &= run_row(row_config(backend, shards, clients));
+      }
+    }
+  }
+  if (!all_ok) {
+    std::puts("\nCONSERVATION AUDIT FAILED — see rows above.");
+    return 1;
+  }
+  return 0;
+}

@@ -148,6 +148,15 @@ def is_obs_field(key):
             or key.endswith(".forced_abort_ratio"))
 
 
+def is_latency_field(key):
+    """Latency histogram summaries (result.*_ns.{count,mean,p50,p90,p99,
+    p999,max} and friends) are machine-speed-shaped. They are reported for
+    context next to the throughput metric, but they never belong in a
+    field-for-field claim comparison — a p999 that moved with the weather
+    is not a changed reproduction result."""
+    return "_ns." in key or key.endswith("_ns")
+
+
 def claim_fields(flat):
     """Non-key, non-metric scalar results for metric-less records."""
     out = {}
@@ -156,7 +165,7 @@ def claim_fields(flat):
             continue
         if any(k == m for m, _ in METRIC_FIELDS):
             continue
-        if is_obs_field(k):
+        if is_obs_field(k) or is_latency_field(k):
             continue
         out[k] = v
     return out

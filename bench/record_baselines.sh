@@ -19,7 +19,7 @@ gbench_benches=(bench_checker bench_contention_managers bench_dap_hotspot
                 bench_ds bench_eventual_ic bench_foc bench_foctm_overhead
                 bench_reclamation bench_throughput)
 standalone_benches=(bench_consensus_number bench_dap_violations
-                    bench_fig1_history bench_fig2_dap)
+                    bench_fig1_history bench_fig2_dap bench_shard_service)
 
 for b in "${gbench_benches[@]}" "${standalone_benches[@]}"; do
   report="$out_dir/REPORT_${b}.jsonl"

@@ -1,152 +1,74 @@
-// A miniature transactional application: a key-value store with a
-// work-queue pipeline. Producer threads enqueue update jobs; consumer
-// threads atomically {dequeue job, apply it to the hash map, bump an
-// audit counter} — one transaction spanning a queue and a map, the kind of
-// multi-container atomicity the paper's introduction motivates.
+// A thin client of the sharded transactional KV service (src/svc/).
 //
-// The application logic is templated over core::MemoryModel, so the SAME
-// code runs on the boxed backends (dstm, tl2, norec, ...) and on the
-// word-granular region recipes (tl2-region, norec-region) — the layout is
-// picked at runtime from the backend's capability.
+// The heavy lifting — shard layout, Zipf clients, the mixed OLTP op set
+// and the cross-shard two-phase commit — all lives in the svc/ layer;
+// this example just configures a small run, executes it on the chosen
+// backend (boxed or region, picked at runtime from the recipe name), and
+// prints the outcome, including the conservation audit: after the run,
+// the sum of every balance on every shard must equal
+// keys * initial_balance plus every committed put delta.
 //
-//   ./kv_store [backend] [producers] [consumers]
-#include <atomic>
+//   ./kv_store [backend] [shards] [clients]
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "core/atomically.hpp"
-#include "core/memory_model.hpp"
-#include "ds/thashmap.hpp"
-#include "ds/tqueue.hpp"
-#include "runtime/xorshift.hpp"
+#include "svc/service.hpp"
 #include "workload/factory.hpp"
 
-namespace {
-
-constexpr std::uint32_t kMapCapacity = 256;  // power of two
-constexpr std::uint32_t kQueueCapacity = 64;
-constexpr std::uint64_t kJobsPerProducer = 5000;
-
-template <typename Model>
-int run(oftm::core::TransactionalMemory& tm, int producers, int consumers,
-        oftm::core::TVarId applied_var) {
-  using Map = oftm::ds::THashMapT<Model>;
-  using Queue = oftm::ds::TQueueT<Model>;
-
-  const oftm::core::TVarId map_base = 0;
-  const auto queue_base =
-      static_cast<oftm::core::TVarId>(Map::tvars_needed(kMapCapacity));
-
-  Map map(tm, map_base, kMapCapacity);
-  Queue queue(tm, queue_base, kQueueCapacity);
-  map.init();
-  queue.init();
-
-  const std::uint64_t total_jobs =
-      kJobsPerProducer * static_cast<std::uint64_t>(producers);
-  std::atomic<std::uint64_t> consumed{0};
-
-  std::vector<std::thread> threads;
-  for (int p = 0; p < producers; ++p) {
-    threads.emplace_back([&, p] {
-      oftm::runtime::Xoshiro256 rng(500 + static_cast<std::uint64_t>(p));
-      for (std::uint64_t j = 0; j < kJobsPerProducer; ++j) {
-        // Job encoding: key in the low 32 bits, delta above.
-        const std::uint64_t key = rng.next_range(100);
-        const std::uint64_t delta = rng.next_range(9) + 1;
-        const oftm::core::Value job = (delta << 32) | key;
-        for (;;) {  // spin while the bounded queue is full
-          const bool enqueued =
-              oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
-                return queue.enqueue(tx, job);
-              });
-          if (enqueued) break;
-          std::this_thread::yield();
-        }
-      }
-    });
-  }
-  for (int c = 0; c < consumers; ++c) {
-    threads.emplace_back([&] {
-      while (consumed.load(std::memory_order_relaxed) < total_jobs) {
-        const bool got =
-            oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
-              const auto job = queue.dequeue(tx);
-              if (!job.has_value()) return false;
-              const std::uint64_t key = *job & 0xffffffffu;
-              const std::uint64_t delta = *job >> 32;
-              const auto cur = map.get(tx, key);
-              map.put(tx, key, cur.value_or(0) + delta);
-              tx.write(applied_var, tx.read(applied_var) + delta);
-              return true;
-            });
-        if (got) {
-          consumed.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          std::this_thread::yield();
-        }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-
-  // Audit: the sum of all map values must equal the applied-delta counter —
-  // the two were only ever updated together, atomically.
-  std::uint64_t sum = 0;
-  oftm::core::atomically(tm, [&](oftm::core::TxView& tx) {
-    sum = 0;
-    for (std::uint64_t key = 0; key < 100; ++key) {
-      sum += map.get(tx, key).value_or(0);
-    }
-  });
-  const std::uint64_t applied = tm.read_quiescent(applied_var);
-
-  std::printf("jobs applied: %llu, map total: %llu, audit counter: %llu\n",
-              static_cast<unsigned long long>(consumed.load()),
-              static_cast<unsigned long long>(sum),
-              static_cast<unsigned long long>(applied));
-  std::printf("consistency: %s\n", sum == applied ? "OK" : "CORRUPTED");
-  std::printf("stats: %s\n", tm.stats().to_string().c_str());
-  return sum == applied && consumed.load() == total_jobs ? 0 : 1;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const std::string backend = argc > 1 ? argv[1] : "dstm";
-  const int producers = argc > 2 ? std::atoi(argv[2]) : 2;
-  const int consumers = argc > 3 ? std::atoi(argv[3]) : 2;
-
-  // Size by the boxed layout (the larger footprint: region containers live
-  // in the heap, not the t-var array); the last word is the audit counter.
-  const std::size_t words =
-      oftm::ds::THashMap::tvars_needed(kMapCapacity) +
-      oftm::ds::TQueue::tvars_needed(kQueueCapacity) + 1;
-
-  std::unique_ptr<oftm::core::TransactionalMemory> tm;
-  try {
-    tm = oftm::workload::make_tm_for_containers(backend, words);
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "error: %s\n\navailable backend recipes:\n",
-                 e.what());
-    for (const std::string& name : oftm::workload::all_backends()) {
-      std::fprintf(stderr, "  %s\n", name.c_str());
-    }
-    std::fprintf(stderr,
-                 "(dstm-collapse/dstm-visible also accept a ':<cm>' "
-                 "contention-manager suffix)\n");
+  oftm::svc::ServiceConfig cfg;
+  cfg.backend = argc > 1 ? argv[1] : "tl2";
+  cfg.num_shards = argc > 2 ? std::atoi(argv[2]) : 4;
+  cfg.clients = argc > 3 ? std::atoi(argv[3]) : 4;
+  cfg.keys = 1024;
+  cfg.ops_per_client = 5000;
+  if (cfg.num_shards < 1 || cfg.clients < 1) {
+    std::fprintf(stderr, "usage: %s [backend] [shards>=1] [clients>=1]\n",
+                 argv[0]);
     return 2;
   }
 
-  std::printf("backend: %s, producers: %d, consumers: %d\n",
-              tm->name().c_str(), producers, consumers);
-  const auto applied_var = static_cast<oftm::core::TVarId>(words - 1);
-  return oftm::core::with_memory_model(*tm, [&](auto tag) {
-    return run<typename decltype(tag)::type>(*tm, producers, consumers,
-                                             applied_var);
-  });
+  // Validate the recipe up front so a typo prints the recipe list instead
+  // of an exception trace from mid-construction.
+  {
+    const auto probe = oftm::workload::make_tm_for_containers_cli(
+        cfg.backend, oftm::svc::shard_tvar_words(cfg));
+    if (!probe) return 2;
+  }
+
+  std::printf("backend: %s, shards: %d, clients: %d, keys: %llu\n",
+              cfg.backend.c_str(), cfg.num_shards, cfg.clients,
+              static_cast<unsigned long long>(cfg.keys));
+
+  const oftm::svc::ServiceRun run = oftm::svc::run_service(cfg);
+  const oftm::svc::SvcRunResult& r = run.result;
+
+  std::printf(
+      "ops: %llu in %.3fs (%.0f ops/s)\n"
+      "  gets %llu, puts %llu, scans %llu, churns %llu\n"
+      "  transfers: %llu committed (%llu fast-path, %llu two-phase), "
+      "%llu insufficient, %llu gave up, %llu busy retries\n"
+      "  2PC rollbacks: %llu\n"
+      "latency p50/p99/p999/max (ns): %llu / %llu / %llu / %llu\n",
+      static_cast<unsigned long long>(r.ops), r.seconds, r.throughput(),
+      static_cast<unsigned long long>(r.gets),
+      static_cast<unsigned long long>(r.puts),
+      static_cast<unsigned long long>(r.scans),
+      static_cast<unsigned long long>(r.churns),
+      static_cast<unsigned long long>(r.transfers_committed),
+      static_cast<unsigned long long>(r.coord.committed_fast_path),
+      static_cast<unsigned long long>(r.coord.committed_two_phase),
+      static_cast<unsigned long long>(r.transfers_insufficient),
+      static_cast<unsigned long long>(r.transfers_gave_up),
+      static_cast<unsigned long long>(r.transfer_busy_retries),
+      static_cast<unsigned long long>(r.coord.rollbacks),
+      static_cast<unsigned long long>(r.op_latency_ns.quantile(0.50)),
+      static_cast<unsigned long long>(r.op_latency_ns.quantile(0.99)),
+      static_cast<unsigned long long>(r.op_latency_ns.quantile(0.999)),
+      static_cast<unsigned long long>(r.op_latency_ns.max()));
+  std::printf("audit: %s%s%s\n", run.audit_ok ? "OK" : "FAILED",
+              run.audit_ok ? "" : " — ", run.audit_why.c_str());
+  std::printf("shard stats: %s\n", r.tm_stats.to_string().c_str());
+  return run.audit_ok ? 0 : 1;
 }

@@ -111,17 +111,8 @@ int main(int argc, char** argv) {
   // Size by the boxed layout — the larger footprint of the two models.
   const std::size_t words = 2 * oftm::ds::TListSet::tvars_needed(kCapacity);
 
-  std::unique_ptr<oftm::core::TransactionalMemory> tm;
-  try {
-    tm = oftm::workload::make_tm_for_containers(backend, words);
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "error: %s\n\navailable backend recipes:\n",
-                 e.what());
-    for (const std::string& name : oftm::workload::all_backends()) {
-      std::fprintf(stderr, "  %s\n", name.c_str());
-    }
-    return 2;
-  }
+  const auto tm = oftm::workload::make_tm_for_containers_cli(backend, words);
+  if (!tm) return 2;  // unknown recipe; the factory printed the list
 
   std::printf("backend: %s, threads: %d\n", tm->name().c_str(), threads);
   return oftm::core::with_memory_model(

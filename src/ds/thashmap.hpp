@@ -126,11 +126,42 @@ class THashMapT {
     return false;
   }
 
+  // Visit every live entry as visit(key, value); slot order, which callers
+  // must treat as unspecified. A false return from the visitor stops the
+  // scan. The whole table's key slots join the read set — that is the
+  // point: a scan is an atomic snapshot, so a concurrent put/erase
+  // anywhere in the table conflicts with it.
+  template <typename F>
+  void for_each(core::TxView& tx, F&& visit) {
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      const std::uint64_t k = mem_.load(tx, root_, key_field(i));
+      if (!tx.ok()) return;  // doomed attempt
+      if (k == kEmptyKey || k == kTombstone) continue;
+      const core::Value v = mem_.load(tx, root_, val_field(i));
+      if (!tx.ok()) return;
+      if (!visit(k, v)) return;
+    }
+  }
+
+  // Sum of the values stored under keys in [lo, hi) — a full-table range
+  // scan (open addressing has no key order to exploit). Meaningless on a
+  // dead view, like every other poisoned return.
+  core::Value range_sum(core::TxView& tx, std::uint64_t lo, std::uint64_t hi) {
+    core::Value sum = 0;
+    for_each(tx, [&](std::uint64_t k, core::Value v) {
+      if (k >= lo && k < hi) sum += v;
+      return true;
+    });
+    return sum;
+  }
+
   std::uint64_t size(core::TxView& tx) { return mem_.load(tx, root_, kCount); }
 
   std::uint64_t size_quiescent() const {
     return mem_.load_quiescent(root_, kCount);
   }
+
+  std::uint32_t capacity() const noexcept { return capacity_; }
 
   // Probes a lookup of `key` would take before terminating (found or hit
   // empty), observed quiescently. The churn regression test pins this.

@@ -99,7 +99,33 @@ class TListSetT {
     return cur && key_of(tx, cur) == key;
   }
 
+  // Visit the keys in [lo, hi) in ascending order; returns how many were
+  // visited. Exploits sortedness: the traversal stops at the first key
+  // >= hi, so only the [head, hi) prefix joins the read set — the ordered
+  // counterpart to THashMapT's full-table scan. Returns 0 on a dead view
+  // (poison refs are not a consistent snapshot).
+  template <typename F>
+  std::uint64_t scan_range(core::TxView& tx, std::uint64_t lo,
+                           std::uint64_t hi, F&& visit) {
+    std::uint64_t visited = 0;
+    std::uint64_t steps = 0;
+    core::TxPtr<Node> cur{mem_.load(tx, root_, kHead)};
+    while (tx.ok() && cur) {
+      if (++steps > capacity_) return 0;  // poisoned ref cycled; bail out
+      const std::uint64_t k = key_of(tx, cur);
+      if (!tx.ok() || k >= hi) break;
+      if (k >= lo) {
+        ++visited;
+        visit(k);
+      }
+      cur = core::TxPtr<Node>{core::tx_get(mem_, tx, cur, &Node::next)};
+    }
+    return tx.ok() ? visited : 0;
+  }
+
   std::uint64_t size(core::TxView& tx) { return mem_.load(tx, root_, kCount); }
+
+  std::uint32_t capacity() const noexcept { return capacity_; }
 
   // Quiescent structural audit (outside transactions; caller guarantees no
   // concurrency): sortedness, count consistency, and — when the model can

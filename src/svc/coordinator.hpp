@@ -1,0 +1,143 @@
+// Two-phase commit over per-shard transactions.
+//
+// A cross-shard transfer debits a key on one TM instance and credits a key
+// on another; no single transaction can span both, so atomicity comes from
+// the classic protocol, with each phase step a committed transaction on
+// one shard (ShardT::prepare / commit_apply / release):
+//
+//   prepare   participants in ascending (shard id, key) order; each
+//             validates funds and records key -> token in its lock table.
+//             Try-style: an already-locked key votes kBusy instead of
+//             waiting — combined with put_add being the only waiter (and
+//             it holds nothing), no cycle of waiters can form.
+//   decide    all yes  -> commit_apply on each participant (apply delta,
+//                         drop lock); unconditional, retried to commit.
+//             any no   -> release the already-prepared participants and
+//                         report the losing vote to the client, who
+//                         retries kBusy with backoff and treats
+//                         kInsufficient as a completed (failed) transfer.
+//
+// Safety argument, in this in-process setting: between a key's prepare and
+// its phase two, the lock entry excludes every other transfer (they vote
+// kBusy) and holds off puts (they wait); gets read the pre-transfer value,
+// which is consistent because phase one writes no balances. The
+// coordinator cannot crash independently of the shards — the classic 2PC
+// blocking window is out of scope here; what this layer measures is the
+// protocol's *cost*, which is exactly what the bench sweeps.
+//
+// Tokens are globally unique (one shared counter), so a stale release can
+// never unlock a key re-prepared by a later transfer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "runtime/assert.hpp"
+#include "svc/config.hpp"
+#include "svc/router.hpp"
+#include "svc/shard.hpp"
+
+namespace oftm::svc {
+
+// Protocol-level outcome counters (client-op accounting lives in
+// SvcRunResult; these count what the 2PC machinery itself did).
+struct CoordinatorStats {
+  std::uint64_t transfers_attempted = 0;
+  std::uint64_t committed_fast_path = 0;  // same-shard, single transaction
+  std::uint64_t committed_two_phase = 0;  // cross-shard, full protocol
+  std::uint64_t busy_first = 0;           // first prepare lost the race
+  std::uint64_t busy_second = 0;          // second prepare lost -> rollback
+  std::uint64_t insufficient = 0;         // debit side lacked funds
+  std::uint64_t rollbacks = 0;            // releases of prepared locks
+
+  CoordinatorStats& merge(const CoordinatorStats& o) {
+    transfers_attempted += o.transfers_attempted;
+    committed_fast_path += o.committed_fast_path;
+    committed_two_phase += o.committed_two_phase;
+    busy_first += o.busy_first;
+    busy_second += o.busy_second;
+    insufficient += o.insufficient;
+    rollbacks += o.rollbacks;
+    return *this;
+  }
+};
+
+template <core::MemoryModel M>
+class TwoPhaseCoordinator {
+ public:
+  TwoPhaseCoordinator(std::vector<ShardT<M>*> shards, const ShardRouter& router)
+      : shards_(std::move(shards)), router_(router) {}
+
+  // One transfer attempt: move `amount` from src_key to dst_key, or report
+  // why not. kBusy is transient (the caller retries with backoff);
+  // kInsufficient is final for this amount. `stats` is the caller's
+  // private accumulator — clients each pass their own and merge at run
+  // end, so the coordinator adds no shared hot spot.
+  Vote transfer(std::uint64_t src_key, std::uint64_t dst_key,
+                core::Value amount, CoordinatorStats& stats) {
+    OFTM_ASSERT(src_key != dst_key);
+    ++stats.transfers_attempted;
+
+    const int s = router_.shard_of(src_key);
+    const int d = router_.shard_of(dst_key);
+    if (s == d) {
+      const Vote v = shards_[static_cast<std::size_t>(s)]->transfer_local(
+          src_key, dst_key, amount);
+      switch (v) {
+        case Vote::kYes: ++stats.committed_fast_path; break;
+        case Vote::kBusy: ++stats.busy_first; break;
+        case Vote::kInsufficient: ++stats.insufficient; break;
+      }
+      return v;
+    }
+
+    const std::uint64_t token =
+        next_token_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    // Participants in ascending shard-id order. Not needed for deadlock
+    // freedom (prepare never waits) but it bounds wasted work: concurrent
+    // transfers over the same shard pair collide on their *first* prepare,
+    // before either holds anything worth rolling back.
+    struct Participant {
+      ShardT<M>* shard;
+      std::uint64_t key;
+      core::Value required;  // debit to validate (0 on the credit side)
+      std::int64_t delta;    // signed amount applied in phase two
+    };
+    const std::int64_t signed_amount = static_cast<std::int64_t>(amount);
+    Participant first{shards_[static_cast<std::size_t>(s)], src_key, amount,
+                      -signed_amount};
+    Participant second{shards_[static_cast<std::size_t>(d)], dst_key, 0,
+                       signed_amount};
+    if (d < s) std::swap(first, second);
+
+    const Vote v1 = first.shard->prepare(first.key, token, first.required);
+    if (v1 != Vote::kYes) {
+      if (v1 == Vote::kBusy) ++stats.busy_first;
+      else ++stats.insufficient;
+      return v1;
+    }
+    const Vote v2 = second.shard->prepare(second.key, token, second.required);
+    if (v2 != Vote::kYes) {
+      first.shard->release(first.key, token);
+      ++stats.rollbacks;
+      if (v2 == Vote::kBusy) ++stats.busy_second;
+      else ++stats.insufficient;
+      return v2;
+    }
+
+    first.shard->commit_apply(first.key, token, first.delta);
+    second.shard->commit_apply(second.key, token, second.delta);
+    ++stats.committed_two_phase;
+    return Vote::kYes;
+  }
+
+ private:
+  std::vector<ShardT<M>*> shards_;
+  const ShardRouter& router_;
+  std::atomic<std::uint64_t> next_token_{0};
+};
+
+}  // namespace oftm::svc

@@ -1,0 +1,35 @@
+// Shard router: which TM instance owns a key.
+//
+// Hash partitioning (mix64, then modulo) rather than range partitioning,
+// deliberately: the client key distribution is Zipf with rank 0 hottest,
+// and a range router would park the entire hot set on shard 0, measuring
+// one TM plus idle bystanders. Hashing spreads the hot ranks across
+// shards so the shard-count sweep in bench_shard_service measures the
+// coordination cost curve, not a placement artifact.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/assert.hpp"
+#include "runtime/xorshift.hpp"
+
+namespace oftm::svc {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards) : num_shards_(num_shards) {
+    OFTM_ASSERT(num_shards >= 1);
+  }
+
+  int shard_of(std::uint64_t key) const noexcept {
+    return static_cast<int>(runtime::mix64(key) %
+                            static_cast<std::uint64_t>(num_shards_));
+  }
+
+  int num_shards() const noexcept { return num_shards_; }
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace oftm::svc

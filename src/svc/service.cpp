@@ -1,0 +1,112 @@
+#include "svc/service.hpp"
+
+#include "workload/factory.hpp"
+#include "workload/report.hpp"
+
+namespace oftm::svc {
+
+// Anchor the templates over both layouts so a layout regression breaks
+// this library's build, not the first client (same pattern as ds/ds.cpp).
+template class ShardT<core::BoxedMemory>;
+template class ShardT<core::RegionMemory>;
+template class TwoPhaseCoordinator<core::BoxedMemory>;
+template class TwoPhaseCoordinator<core::RegionMemory>;
+template class KvServiceT<core::BoxedMemory>;
+template class KvServiceT<core::RegionMemory>;
+
+std::vector<std::unique_ptr<core::TransactionalMemory>> make_service_tms(
+    const ServiceConfig& cfg) {
+  std::vector<std::unique_ptr<core::TransactionalMemory>> tms;
+  tms.reserve(static_cast<std::size_t>(cfg.num_shards));
+  const std::size_t words = shard_tvar_words(cfg) + cfg.extra_tvars;
+  for (int i = 0; i < cfg.num_shards; ++i) {
+    tms.push_back(workload::make_tm_for_containers(cfg.backend, words));
+  }
+  return tms;
+}
+
+ServiceRun run_service(const ServiceConfig& cfg) {
+  auto tms = make_service_tms(cfg);
+  std::vector<core::TransactionalMemory*> raw;
+  raw.reserve(tms.size());
+  for (auto& tm : tms) raw.push_back(tm.get());
+  return core::with_memory_model(*raw.front(), [&](auto tag) {
+    using Model = typename decltype(tag)::type;
+    KvServiceT<Model> service(cfg, raw);
+    service.init_and_seed();
+    ServiceRun run;
+    run.result = service.run_clients();
+    run.audit_ok = service.audit(&run.audit_why);
+    return run;
+  });
+}
+
+void emit_service_run(std::string_view bench, std::string_view scenario,
+                      const ServiceConfig& cfg, const SvcRunResult& r) {
+  namespace report = workload::report;
+  report::Json config;
+  config.field("shards", cfg.num_shards)
+      .field("clients", cfg.clients)
+      .field("keys", cfg.keys)
+      .field("initial_balance", cfg.initial_balance)
+      .field("put_fraction", cfg.put_fraction)
+      .field("transfer_fraction", cfg.transfer_fraction)
+      .field("scan_fraction", cfg.scan_fraction)
+      .field("churn_fraction", cfg.churn_fraction)
+      .field("scan_span", cfg.scan_span)
+      .field("max_transfer", cfg.max_transfer)
+      .field("zipf_s", cfg.zipf_s)
+      .field("ops_per_client", cfg.ops_per_client)
+      .field("run_seconds", cfg.run_seconds)
+      .field("seed", cfg.seed);
+
+  report::Json coord;
+  coord.field("transfers_attempted", r.coord.transfers_attempted)
+      .field("committed_fast_path", r.coord.committed_fast_path)
+      .field("committed_two_phase", r.coord.committed_two_phase)
+      .field("busy_first", r.coord.busy_first)
+      .field("busy_second", r.coord.busy_second)
+      .field("insufficient", r.coord.insufficient)
+      .field("rollbacks", r.coord.rollbacks);
+
+  report::Json latency;
+  latency.field_raw("all", report::to_json(r.op_latency_ns))
+      .field_raw("get", report::to_json(r.get_latency_ns))
+      .field_raw("put", report::to_json(r.put_latency_ns))
+      .field_raw("scan", report::to_json(r.scan_latency_ns))
+      .field_raw("transfer", report::to_json(r.transfer_latency_ns));
+
+  std::string shard_commits = "[";
+  for (std::size_t i = 0; i < r.per_shard_commits.size(); ++i) {
+    if (i > 0) shard_commits += ',';
+    shard_commits += std::to_string(r.per_shard_commits[i]);
+  }
+  shard_commits += ']';
+
+  report::Json result;
+  result.field("seconds", r.seconds)
+      .field("ops", r.ops)
+      .field("throughput_tx_s", r.throughput())
+      .field("gets", r.gets)
+      .field("puts", r.puts)
+      .field("scans", r.scans)
+      .field("churns", r.churns)
+      .field("transfers_committed", r.transfers_committed)
+      .field("transfers_insufficient", r.transfers_insufficient)
+      .field("transfers_gave_up", r.transfers_gave_up)
+      .field("transfer_busy_retries", r.transfer_busy_retries)
+      .field_raw("coordinator", coord.str())
+      .field_raw("latency_ns", latency.str())
+      .field_raw("per_shard_commits", shard_commits)
+      .field_raw("tm_stats", report::to_json(r.tm_stats));
+
+  report::Json record;
+  record.field("bench", bench)
+      .field("scenario", scenario)
+      .field("backend", cfg.backend)
+      .field_raw("config", config.str())
+      .field_raw("result", result.str());
+  report::emit(record);
+}
+
+}  // namespace oftm::svc

@@ -1,5 +1,6 @@
 #include "workload/factory.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "cm/managers.hpp"
@@ -103,6 +104,23 @@ std::unique_ptr<core::TransactionalMemory> make_tm_for_containers(
                                                                     options);
   }
   return make_tm(name, words);
+}
+
+std::unique_ptr<core::TransactionalMemory> make_tm_for_containers_cli(
+    const std::string& name, std::size_t words) {
+  try {
+    return make_tm_for_containers(name, words);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n\navailable backend recipes:\n",
+                 e.what());
+    for (const std::string& recipe : all_backends()) {
+      std::fprintf(stderr, "  %s\n", recipe.c_str());
+    }
+    std::fprintf(stderr,
+                 "(dstm-collapse/dstm-visible also accept a ':<cm>' "
+                 "contention-manager suffix)\n");
+    return nullptr;
+  }
 }
 
 const std::vector<std::string>& default_backends() {

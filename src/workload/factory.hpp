@@ -53,6 +53,14 @@ std::unique_ptr<core::TransactionalMemory> make_tm(const std::string& name,
 std::unique_ptr<core::TransactionalMemory> make_tm_for_containers(
     const std::string& name, std::size_t words);
 
+// CLI front end shared by the examples and the service tools: same as
+// make_tm_for_containers, but an unknown recipe prints the error plus the
+// full recipe list to stderr and returns nullptr instead of throwing —
+// the caller exits non-zero. Keeps every binary's usage message in sync
+// with the factory grammar.
+std::unique_ptr<core::TransactionalMemory> make_tm_for_containers_cli(
+    const std::string& name, std::size_t words);
+
 // Backends every comparative bench sweeps by default.
 const std::vector<std::string>& default_backends();
 

@@ -125,6 +125,7 @@ std::string to_json(const runtime::Log2Histogram& h) {
       .field("p50", h.quantile(0.50))
       .field("p90", h.quantile(0.90))
       .field("p99", h.quantile(0.99))
+      .field("p999", h.quantile(0.999))
       .field("max", h.max())
       .str();
 }

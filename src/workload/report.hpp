@@ -41,7 +41,8 @@ class Json {
 std::string escape(std::string_view s);
 
 // Histogram summary: {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,
-// "max":..} (quantiles are log2-bucket upper bounds).
+// "p999":..,"max":..} (quantiles are log2-bucket upper bounds; p999 and
+// max are the tail-latency headline fields the service bench reports).
 std::string to_json(const runtime::Log2Histogram& h);
 
 // Backend-side counters: commits/aborts/reads/writes/backoffs/kills.

@@ -101,6 +101,11 @@ TEST(Report, HistogramJsonHasQuantiles) {
   EXPECT_NE(s.find("\"count\":100"), std::string::npos);
   EXPECT_NE(s.find("\"p50\""), std::string::npos);
   EXPECT_NE(s.find("\"p99\""), std::string::npos);
+  // The tail fields the service bench reports: p999 sits between p99 and
+  // max (pinned as a substring so a reordering of the schema is caught).
+  EXPECT_NE(s.find("\"p999\""), std::string::npos);
+  EXPECT_LT(s.find("\"p99\""), s.find("\"p999\""));
+  EXPECT_LT(s.find("\"p999\""), s.find("\"max\""));
   EXPECT_NE(s.find("\"max\":100"), std::string::npos);
 }
 
