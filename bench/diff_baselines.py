@@ -150,11 +150,13 @@ def is_obs_field(key):
 
 def is_latency_field(key):
     """Latency histogram summaries (result.*_ns.{count,mean,p50,p90,p99,
-    p999,max} and friends) are machine-speed-shaped. They are reported for
-    context next to the throughput metric, but they never belong in a
-    field-for-field claim comparison — a p999 that moved with the weather
-    is not a changed reproduction result."""
-    return "_ns." in key or key.endswith("_ns")
+    p999,max} and friends) and checker wall-time fields (*_seconds, e.g.
+    bench_checker's check_seconds) are machine-speed-shaped. They are
+    reported for context next to the throughput metric, but they never
+    belong in a field-for-field claim comparison — a p999 or a check wall
+    time that moved with the weather is not a changed reproduction
+    result."""
+    return "_ns." in key or key.endswith("_ns") or key.endswith("_seconds")
 
 
 def claim_fields(flat):
@@ -172,16 +174,20 @@ def claim_fields(flat):
 
 
 def obs_summary(flat):
-    """One-liner from the record's obs fields: the dominant abort reason
-    and the phase with the largest time share. Empty when the record has
-    no attribution data (obs gate off, or an abort-free run)."""
+    """One-liner from the record's obs fields: the dominant abort reason,
+    the phase with the largest time share, and any wall-time fields
+    (*_seconds — informational, never compared; see is_latency_field).
+    Empty when the record has none of those."""
     reasons = {}
     phase_ns = {}
+    walltimes = []
     for k, v in flat.items():
         if ".abort_reasons." in k and v:
             reasons[k.rsplit(".", 1)[1]] = v
         elif ".phases." in k and k.endswith(".ns") and v:
             phase_ns[k.rsplit(".", 2)[1]] = v
+        elif k.endswith("_seconds") and not k.startswith("config.") and v:
+            walltimes.append(f"{k.rsplit('.', 1)[-1]} {v:.3g}s")
     parts = []
     if reasons:
         name, count = max(reasons.items(), key=lambda kv: kv[1])
@@ -189,6 +195,7 @@ def obs_summary(flat):
     if phase_ns:
         name, ns = max(phase_ns.items(), key=lambda kv: kv[1])
         parts.append(f"{name} {ns / sum(phase_ns.values()):.0%}")
+    parts.extend(walltimes)
     return " · ".join(parts)
 
 

@@ -1,11 +1,14 @@
 #include "history/checker.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
 #include <queue>
 #include <vector>
+
+#include "runtime/parallel.hpp"
 
 namespace oftm::history {
 namespace {
@@ -92,6 +95,26 @@ bool digest_tx(const TxRecord& rec, Digest& out, std::string& err,
   return true;
 }
 
+// Per-worker failure slot for a parallel checker phase. Each worker records
+// only its first failure; since a worker's work items arrive in increasing
+// ordinal order (block decomposition or the shared unit counter), the
+// per-worker first failure is the worker's minimum, and the phase's failure
+// is the minimum ordinal across workers — exactly the failure the
+// sequential pass would have returned first.
+struct PhaseFailure {
+  std::size_t ordinal = ~std::size_t{0};
+  CheckResult result;
+};
+
+CheckResult* first_phase_failure(std::vector<PhaseFailure>& fails) {
+  PhaseFailure* best = nullptr;
+  for (PhaseFailure& f : fails) {
+    if (f.ordinal == ~std::size_t{0}) continue;
+    if (best == nullptr || f.ordinal < best->ordinal) best = &f;
+  }
+  return best != nullptr ? &best->result : nullptr;
+}
+
 }  // namespace
 
 const char* to_string(WitnessEdge::Kind k) noexcept {
@@ -153,11 +176,38 @@ std::string CheckResult::witness_str() const {
 // used. The acyclicity pass is Kahn's algorithm with real-time edges kept
 // implicit (a sorted doubly-linked list over completion times answers "is
 // any unfinished transaction strictly before me" in O(1)).
+//
+// The pass is phase-parallel (MvsgOptions::threads): digestion and index
+// fill shard over transactions, version chains and reads-from resolution
+// shard over per-t-var units (independent after the global sorts), and
+// large Kahn frontiers relax their out-edges concurrently. Determinism is
+// structural, not incidental: every sort comparator is a total order (the
+// sorted permutation is unique), per-unit output lands at offsets fixed by
+// prefix sums (identical edge order), a failing phase reports the failure
+// with the smallest ordinal (identical first error), and the Kahn residue
+// is the least fixpoint of a monotone closure (identical for any emission
+// schedule) — so verdicts and witnesses are bit-identical across thread
+// counts, including the never-spawning threads == 1 default.
 
 CheckResult check_mvsg(const std::vector<TxRecord>& txns,
                        const MvsgOptions& options) {
   using Kind = WitnessEdge::Kind;
   constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  constexpr std::size_t kNpos = ~std::size_t{0};
+
+  const int workers = runtime::resolve_workers(options.threads);
+  // Every flat index (node id, chain position, CSR offset) is 32 bits with
+  // kNone reserved as a sentinel; refuse histories that cannot fit instead
+  // of silently truncating. index_capacity is the injectable test cap.
+  const std::size_t cap = options.index_capacity != 0
+                              ? options.index_capacity
+                              : static_cast<std::size_t>(kNone) - 1;
+  auto capacity_error = [&](const char* what, std::size_t have) {
+    return CheckResult::capacity("history exceeds checker index space: " +
+                                 std::string(what) + " " +
+                                 std::to_string(have) + " > limit " +
+                                 std::to_string(cap));
+  };
 
   // Node 0 is the virtual initializing transaction T0.
   struct Node {
@@ -167,28 +217,48 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     std::uint64_t last_seq = 0;
     core::TxId id = 0;
   };
-  std::vector<Node> nodes;
-  nodes.reserve(txns.size() + 1);
-  nodes.emplace_back();
-  nodes[0].committed = true;  // T0 precedes everything
 
+  // ---- Select and digest transactions (sharded by node) ------------------
+  std::vector<const TxRecord*> included;
+  included.reserve(txns.size());
   for (const TxRecord& rec : txns) {
     const bool committed =
         rec.committed() ||
         (rec.commit_pending && options.commit_pending_as_committed);
     if (!committed && !options.include_aborted_readers) continue;
-    Node n;
-    std::string err;
-    core::TVarId bad_var = core::kInvalidTVar;
-    if (!digest_tx(rec, n.digest, err, &bad_var)) {
-      return CheckResult::failure(
-          std::move(err), {{Kind::kLocal, rec.id, rec.id, bad_var}});
-    }
-    n.committed = committed;
-    n.first_seq = rec.first_seq;
-    n.last_seq = rec.last_seq;
-    n.id = rec.id;
-    nodes.push_back(std::move(n));
+    included.push_back(&rec);
+  }
+  if (included.size() + 1 > cap) {
+    return capacity_error("transaction count", included.size() + 1);
+  }
+
+  std::vector<Node> nodes(included.size() + 1);
+  nodes[0].committed = true;  // T0 precedes everything
+  {
+    std::vector<PhaseFailure> fails(static_cast<std::size_t>(workers));
+    runtime::parallel_for_blocks(
+        workers, included.size(), [&](std::size_t b, std::size_t e, int w) {
+          for (std::size_t k = b; k < e; ++k) {
+            const TxRecord& rec = *included[k];
+            Node& nd = nodes[k + 1];
+            std::string err;
+            core::TVarId bad_var = core::kInvalidTVar;
+            if (!digest_tx(rec, nd.digest, err, &bad_var)) {
+              fails[static_cast<std::size_t>(w)] = PhaseFailure{
+                  k, CheckResult::failure(
+                         std::move(err),
+                         {{Kind::kLocal, rec.id, rec.id, bad_var}})};
+              return;  // this worker's later nodes have larger ordinals
+            }
+            nd.committed =
+                rec.committed() ||
+                (rec.commit_pending && options.commit_pending_as_committed);
+            nd.first_seq = rec.first_seq;
+            nd.last_seq = rec.last_seq;
+            nd.id = rec.id;
+          }
+        });
+    if (CheckResult* f = first_phase_failure(fails)) return std::move(*f);
   }
   const std::size_t n = nodes.size();
 
@@ -205,42 +275,56 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     std::uint32_t node;
     core::Value val;
   };
-  std::vector<WriteRef> writes;
-  std::vector<ReadRef> reads;
-  {
-    std::size_t nw = 0, nr = 0;
-    for (std::size_t i = 1; i < n; ++i) {
-      nr += nodes[i].digest.external_reads.size();
-      if (nodes[i].committed) nw += nodes[i].digest.final_writes.size();
-    }
-    writes.reserve(nw);
-    reads.reserve(nr);
+  // Prefix sums over per-node access counts fix every ref's slot up front,
+  // so the parallel fill writes disjoint ranges in the same node-major
+  // order the sequential append produced.
+  std::vector<std::size_t> roff(n + 1, 0);
+  std::vector<std::size_t> woff(n + 1, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    roff[i + 1] = roff[i] + nodes[i].digest.external_reads.size();
+    woff[i + 1] =
+        woff[i] +
+        (nodes[i].committed ? nodes[i].digest.final_writes.size() : 0);
   }
-  for (std::uint32_t i = 1; i < n; ++i) {
-    const Digest& d = nodes[i].digest;
-    for (const VarVal& r : d.external_reads) {
-      reads.push_back(ReadRef{r.var, i, r.val});
-    }
-    if (!nodes[i].committed) continue;
-    // Both digest vectors are sorted by var: one merge-walk pairs each
-    // final write with the external read of the same var (RMW witness).
-    auto rit = d.external_reads.begin();
-    for (const VarVal& w : d.final_writes) {
-      while (rit != d.external_reads.end() && rit->var < w.var) ++rit;
-      const bool rmw =
-          rit != d.external_reads.end() && rit->var == w.var;
-      writes.push_back(
-          WriteRef{w.var, i, w.val, rmw ? rit->val : 0, rmw});
-    }
-  }
-  std::sort(writes.begin(), writes.end(),
-            [](const WriteRef& a, const WriteRef& b) {
-              return a.var != b.var ? a.var < b.var : a.node < b.node;
-            });
-  std::sort(reads.begin(), reads.end(),
-            [](const ReadRef& a, const ReadRef& b) {
-              return a.var != b.var ? a.var < b.var : a.node < b.node;
-            });
+  if (roff[n] > cap) return capacity_error("read access count", roff[n]);
+  if (woff[n] > cap) return capacity_error("write access count", woff[n]);
+  std::vector<WriteRef> writes(woff[n]);
+  std::vector<ReadRef> reads(roff[n]);
+  runtime::parallel_for_blocks(
+      workers, n - 1, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t k = b; k < e; ++k) {
+          const std::uint32_t i = static_cast<std::uint32_t>(k + 1);
+          const Digest& d = nodes[i].digest;
+          std::size_t rpos = roff[i];
+          for (const VarVal& r : d.external_reads) {
+            reads[rpos++] = ReadRef{r.var, i, r.val};
+          }
+          if (!nodes[i].committed) continue;
+          // Both digest vectors are sorted by var: one merge-walk pairs
+          // each final write with the external read of the same var (RMW
+          // witness).
+          std::size_t wpos = woff[i];
+          auto rit = d.external_reads.begin();
+          for (const VarVal& wv : d.final_writes) {
+            while (rit != d.external_reads.end() && rit->var < wv.var) ++rit;
+            const bool rmw =
+                rit != d.external_reads.end() && rit->var == wv.var;
+            writes[wpos++] =
+                WriteRef{wv.var, i, wv.val, rmw ? rit->val : 0, rmw};
+          }
+        }
+      });
+  // (var, node) is unique per ref, so both comparators are total orders.
+  runtime::parallel_sort(workers, writes.begin(), writes.end(),
+                         [](const WriteRef& a, const WriteRef& b) {
+                           return a.var != b.var ? a.var < b.var
+                                                 : a.node < b.node;
+                         });
+  runtime::parallel_sort(workers, reads.begin(), reads.end(),
+                         [](const ReadRef& a, const ReadRef& b) {
+                           return a.var != b.var ? a.var < b.var
+                                                 : a.node < b.node;
+                         });
 
   // ---- Edge accumulation -------------------------------------------------
   struct Edge {
@@ -248,13 +332,6 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     std::uint32_t to;
     core::TVarId var;
     Kind kind;
-  };
-  std::vector<Edge> edges;
-  edges.reserve(writes.size() + 2 * reads.size());
-  auto add_edge = [&](std::uint32_t a, std::uint32_t b, core::TVarId var,
-                      Kind kind) {
-    if (a == b) return;
-    edges.push_back(Edge{a, b, var, kind});
   };
 
   // ---- Version chains, one contiguous write range per t-var --------------
@@ -271,6 +348,11 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
   // This is exact for non-overlapping writers and for the fully serialized
   // backends; overlapping blind writers may be mis-ordered, so stress
   // suites use the RMW discipline (workload::run_workload does).
+  //
+  // Per-var units are independent after the global sort, so they run on a
+  // dynamically scheduled worker pool. Each unit's chain/value slots start
+  // at its write offset and its version-order edges at (offset - unit), so
+  // every output position is schedule-independent.
   struct Version {
     core::Value value;
     std::uint32_t writer;  // node index
@@ -284,169 +366,263 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     std::uint32_t begin;  // offset into chain_pool / value_pool
     std::uint32_t count;
   };
-  std::vector<Version> chain_pool;
-  std::vector<ValIdx> value_pool;  // per var: sorted by value
-  std::vector<VarChain> var_chains;
-  chain_pool.reserve(writes.size());
-  value_pool.reserve(writes.size());
-  std::vector<char> placed;  // chase scratch, reused across vars
-
-  for (std::size_t wb = 0; wb < writes.size();) {
-    std::size_t we = wb;
-    const core::TVarId x = writes[wb].var;
-    bool all_rmw = true;
-    while (we < writes.size() && writes[we].var == x) {
-      all_rmw = all_rmw && writes[we].rmw;
-      ++we;
-    }
-    const std::uint32_t count = static_cast<std::uint32_t>(we - wb);
-    const std::uint32_t base = static_cast<std::uint32_t>(chain_pool.size());
-
-    const auto range_begin = writes.begin() + static_cast<std::ptrdiff_t>(wb);
-    const auto range_end = writes.begin() + static_cast<std::ptrdiff_t>(we);
-    if (all_rmw) {
-      // Per-chain sorted index over the value each writer *read*: the
-      // chase is then a binary search per placement instead of a hash
-      // lookup, and a fork shows up as two adjacent equal read-values.
-      std::sort(range_begin, range_end,
-                [](const WriteRef& a, const WriteRef& b) {
-                  return a.rval != b.rval ? a.rval < b.rval
-                                          : a.node < b.node;
-                });
-      placed.assign(count, 0);
-      core::Value cur = options.initial_value;
-      std::uint32_t placed_count = 0;
-      while (placed_count < count) {
-        const auto lo = std::lower_bound(
-            range_begin, range_end, cur,
-            [](const WriteRef& w, core::Value v) { return w.rval < v; });
-        const bool found = lo != range_end && lo->rval == cur &&
-                           !placed[static_cast<std::size_t>(lo - range_begin)];
-        if (!found) {
-          std::vector<WitnessEdge> w;
-          for (auto it = range_begin; it != range_end && w.size() < 4; ++it) {
-            if (!placed[static_cast<std::size_t>(it - range_begin)]) {
-              w.push_back({Kind::kLocal, nodes[it->node].id,
-                           nodes[it->node].id, x});
+  std::vector<std::size_t> wunit;  // unit u spans writes[wunit[u], wunit[u+1])
+  for (std::size_t i = 0; i < writes.size();) {
+    wunit.push_back(i);
+    const core::TVarId x = writes[i].var;
+    while (i < writes.size() && writes[i].var == x) ++i;
+  }
+  wunit.push_back(writes.size());
+  const std::size_t num_wunits = wunit.size() - 1;
+  std::vector<Version> chain_pool(writes.size());
+  std::vector<ValIdx> value_pool(writes.size());  // per var: sorted by value
+  std::vector<VarChain> var_chains(num_wunits);
+  // Each unit emits exactly count-1 version-order edges (chain neighbours
+  // are distinct nodes: one WriteRef per (node, var)).
+  std::vector<Edge> ww_edges(writes.size() - num_wunits);
+  {
+    std::vector<PhaseFailure> fails(static_cast<std::size_t>(workers));
+    std::vector<std::vector<char>> placed_scratch(
+        static_cast<std::size_t>(workers));
+    runtime::parallel_for_units(
+        workers, num_wunits, [&](std::size_t u, int w) {
+          // A worker's units arrive in increasing order: after a failure,
+          // nothing it could still produce can beat its recorded ordinal.
+          if (fails[static_cast<std::size_t>(w)].ordinal != kNpos) return;
+          auto fail = [&](CheckResult r) {
+            fails[static_cast<std::size_t>(w)] = PhaseFailure{u, std::move(r)};
+          };
+          const std::size_t wb = wunit[u];
+          const std::size_t we = wunit[u + 1];
+          const core::TVarId x = writes[wb].var;
+          const std::uint32_t count = static_cast<std::uint32_t>(we - wb);
+          const std::uint32_t base = static_cast<std::uint32_t>(wb);
+          bool all_rmw = true;
+          for (std::size_t i = wb; i < we; ++i) {
+            all_rmw = all_rmw && writes[i].rmw;
+          }
+          const auto range_begin =
+              writes.begin() + static_cast<std::ptrdiff_t>(wb);
+          const auto range_end =
+              writes.begin() + static_cast<std::ptrdiff_t>(we);
+          if (all_rmw) {
+            // Per-chain sorted index over the value each writer *read*: the
+            // chase is then a binary search per placement instead of a hash
+            // lookup, and a fork shows up as two adjacent equal read-values.
+            std::sort(range_begin, range_end,
+                      [](const WriteRef& a, const WriteRef& b) {
+                        return a.rval != b.rval ? a.rval < b.rval
+                                                : a.node < b.node;
+                      });
+            std::vector<char>& placed =
+                placed_scratch[static_cast<std::size_t>(w)];
+            placed.assign(count, 0);
+            core::Value cur = options.initial_value;
+            std::uint32_t placed_count = 0;
+            while (placed_count < count) {
+              const auto lo = std::lower_bound(
+                  range_begin, range_end, cur,
+                  [](const WriteRef& wr, core::Value v) {
+                    return wr.rval < v;
+                  });
+              const bool found =
+                  lo != range_end && lo->rval == cur &&
+                  !placed[static_cast<std::size_t>(lo - range_begin)];
+              if (!found) {
+                std::vector<WitnessEdge> wit;
+                for (auto it = range_begin; it != range_end && wit.size() < 4;
+                     ++it) {
+                  if (!placed[static_cast<std::size_t>(it - range_begin)]) {
+                    wit.push_back({Kind::kLocal, nodes[it->node].id,
+                                   nodes[it->node].id, x});
+                  }
+                }
+                fail(CheckResult::failure(
+                    "version chain gap on " + var_name(x) + ": " +
+                        std::to_string(count - placed_count) +
+                        " committed writer(s) read a superseded value",
+                    std::move(wit)));
+                return;
+              }
+              const auto nxt = lo + 1;
+              if (nxt != range_end && nxt->rval == cur) {
+                fail(CheckResult::failure(
+                    "version chain fork on " + var_name(x) +
+                        ": two committed writers read the same version",
+                    {{Kind::kLocal, nodes[lo->node].id, nodes[nxt->node].id,
+                      x}}));
+                return;
+              }
+              placed[static_cast<std::size_t>(lo - range_begin)] = 1;
+              chain_pool[base + placed_count] = Version{lo->wval, lo->node};
+              cur = lo->wval;
+              ++placed_count;
+            }
+          } else {
+            std::sort(range_begin, range_end,
+                      [&](const WriteRef& a, const WriteRef& b) {
+                        const std::uint64_t la = nodes[a.node].last_seq;
+                        const std::uint64_t lb = nodes[b.node].last_seq;
+                        return la != lb ? la < lb : a.node < b.node;
+                      });
+            for (std::uint32_t vi = 0; vi < count; ++vi) {
+              chain_pool[base + vi] =
+                  Version{writes[wb + vi].wval, writes[wb + vi].node};
             }
           }
-          return CheckResult::failure(
-              "version chain gap on " + var_name(x) + ": " +
-                  std::to_string(count - placed_count) +
-                  " committed writer(s) read a superseded value",
-              std::move(w));
-        }
-        const auto nxt = lo + 1;
-        if (nxt != range_end && nxt->rval == cur) {
-          return CheckResult::failure(
-              "version chain fork on " + var_name(x) +
-                  ": two committed writers read the same version",
-              {{Kind::kLocal, nodes[lo->node].id, nodes[nxt->node].id, x}});
-        }
-        placed[static_cast<std::size_t>(lo - range_begin)] = 1;
-        chain_pool.push_back(Version{lo->wval, lo->node});
-        cur = lo->wval;
-        ++placed_count;
-      }
-    } else {
-      std::sort(range_begin, range_end,
-                [&](const WriteRef& a, const WriteRef& b) {
-                  const std::uint64_t la = nodes[a.node].last_seq;
-                  const std::uint64_t lb = nodes[b.node].last_seq;
-                  return la != lb ? la < lb : a.node < b.node;
-                });
-      for (auto it = range_begin; it != range_end; ++it) {
-        chain_pool.push_back(Version{it->wval, it->node});
-      }
-    }
 
-    // Reads-from resolution index: (value -> version position), sorted by
-    // value for binary search. Unique-writes discipline makes the mapping
-    // unambiguous; duplicates are reported as a checker-usage error.
-    for (std::uint32_t vi = 0; vi < count; ++vi) {
-      value_pool.push_back(ValIdx{chain_pool[base + vi].value, vi});
-    }
-    const auto vals_begin =
-        value_pool.begin() + static_cast<std::ptrdiff_t>(base);
-    std::sort(vals_begin, value_pool.end(),
-              [](const ValIdx& a, const ValIdx& b) {
-                return a.value != b.value ? a.value < b.value
-                                          : a.version < b.version;
-              });
-    for (auto it = vals_begin; it + 1 != value_pool.end(); ++it) {
-      if (it->value == (it + 1)->value) {
-        return CheckResult::failure(
-            "unique-writes discipline violated on " + var_name(x) +
-                " (two committed writers wrote the same value)",
-            {{Kind::kLocal, nodes[chain_pool[base + it->version].writer].id,
-              nodes[chain_pool[base + (it + 1)->version].writer].id, x}});
-      }
-    }
+          // Reads-from resolution index: (value -> version position),
+          // sorted by value for binary search. Unique-writes discipline
+          // makes the mapping unambiguous; duplicates are reported as a
+          // checker-usage error.
+          for (std::uint32_t vi = 0; vi < count; ++vi) {
+            value_pool[base + vi] = ValIdx{chain_pool[base + vi].value, vi};
+          }
+          const auto vals_begin =
+              value_pool.begin() + static_cast<std::ptrdiff_t>(base);
+          const auto vals_end =
+              vals_begin + static_cast<std::ptrdiff_t>(count);
+          std::sort(vals_begin, vals_end,
+                    [](const ValIdx& a, const ValIdx& b) {
+                      return a.value != b.value ? a.value < b.value
+                                                : a.version < b.version;
+                    });
+          for (auto it = vals_begin; it + 1 != vals_end; ++it) {
+            if (it->value == (it + 1)->value) {
+              fail(CheckResult::failure(
+                  "unique-writes discipline violated on " + var_name(x) +
+                      " (two committed writers wrote the same value)",
+                  {{Kind::kLocal,
+                    nodes[chain_pool[base + it->version].writer].id,
+                    nodes[chain_pool[base + (it + 1)->version].writer].id,
+                    x}}));
+              return;
+            }
+          }
 
-    // Version-order edges along the chain.
-    for (std::uint32_t vi = 0; vi + 1 < count; ++vi) {
-      add_edge(chain_pool[base + vi].writer, chain_pool[base + vi + 1].writer,
-               x, Kind::kVersionOrder);
-    }
-
-    var_chains.push_back(VarChain{x, base, count});
-    wb = we;
+          // Version-order edges along the chain.
+          const std::size_t wwbase = wb - u;
+          for (std::uint32_t vi = 0; vi + 1 < count; ++vi) {
+            ww_edges[wwbase + vi] =
+                Edge{chain_pool[base + vi].writer,
+                     chain_pool[base + vi + 1].writer, x, Kind::kVersionOrder};
+          }
+          var_chains[u] = VarChain{x, base, count};
+        });
+    if (CheckResult* f = first_phase_failure(fails)) return std::move(*f);
   }
 
   // ---- Reads-from and anti-dependency edges ------------------------------
-  {
-    std::size_t ci = 0;  // cursor into var_chains (both sorted by var)
-    for (std::size_t rb = 0; rb < reads.size();) {
-      const core::TVarId x = reads[rb].var;
-      std::size_t re = rb;
-      while (re < reads.size() && reads[re].var == x) ++re;
-      while (ci < var_chains.size() && var_chains[ci].var < x) ++ci;
-      const VarChain* chain =
-          ci < var_chains.size() && var_chains[ci].var == x ? &var_chains[ci]
-                                                            : nullptr;
-      for (std::size_t r = rb; r < re; ++r) {
-        const ReadRef& rd = reads[r];
-        std::uint32_t version = kNone;  // kNone == the initial version
-        if (rd.val != options.initial_value) {
-          if (chain == nullptr) {
-            return CheckResult::failure(
-                tx_name(nodes[rd.node].id) + " read a value of " +
-                    var_name(x) + " that no committed transaction wrote",
-                {{Kind::kLocal, nodes[rd.node].id, nodes[rd.node].id, x}});
-          }
-          const auto vals_begin =
-              value_pool.begin() + static_cast<std::ptrdiff_t>(chain->begin);
-          const auto vals_end =
-              vals_begin + static_cast<std::ptrdiff_t>(chain->count);
-          const auto it = std::lower_bound(
-              vals_begin, vals_end, rd.val,
-              [](const ValIdx& a, core::Value v) { return a.value < v; });
-          if (it == vals_end || it->value != rd.val) {
-            return CheckResult::failure(
-                tx_name(nodes[rd.node].id) + " read value " +
-                    std::to_string(rd.val) + " of " + var_name(x) +
-                    " that no committed transaction wrote (dirty or lost "
-                    "read)",
-                {{Kind::kLocal, nodes[rd.node].id, nodes[rd.node].id, x}});
-          }
-          version = it->version;
-          add_edge(chain_pool[chain->begin + version].writer, rd.node, x,
-                   Kind::kReadsFrom);
-        } else {
-          add_edge(0, rd.node, x, Kind::kReadsFrom);  // rf from T0
-        }
-        // Anti-dependency: the reader precedes the next version's writer.
-        if (chain != nullptr) {
-          const std::uint32_t next = version + 1;  // works for kNone too (0)
-          if (next < chain->count) {
-            add_edge(rd.node, chain_pool[chain->begin + next].writer, x,
-                     Kind::kAntiDependency);
-          }
-        }
-      }
-      rb = re;
-    }
+  //
+  // Per-var read units run on the same dynamically scheduled pool; each
+  // unit buffers its edges locally (rf/rw emission is data-dependent) and
+  // the buffers concatenate in unit order below.
+  std::vector<std::size_t> runit;  // unit u spans reads[runit[u], runit[u+1])
+  for (std::size_t i = 0; i < reads.size();) {
+    runit.push_back(i);
+    const core::TVarId x = reads[i].var;
+    while (i < reads.size() && reads[i].var == x) ++i;
   }
+  runit.push_back(reads.size());
+  const std::size_t num_runits = runit.size() - 1;
+  std::vector<std::vector<Edge>> read_edges(num_runits);
+  {
+    std::vector<PhaseFailure> fails(static_cast<std::size_t>(workers));
+    runtime::parallel_for_units(
+        workers, num_runits, [&](std::size_t u, int w) {
+          if (fails[static_cast<std::size_t>(w)].ordinal != kNpos) return;
+          auto fail = [&](CheckResult r) {
+            fails[static_cast<std::size_t>(w)] = PhaseFailure{u, std::move(r)};
+          };
+          const std::size_t rb = runit[u];
+          const std::size_t re = runit[u + 1];
+          const core::TVarId x = reads[rb].var;
+          const auto cit = std::lower_bound(
+              var_chains.begin(), var_chains.end(), x,
+              [](const VarChain& c, core::TVarId v) { return c.var < v; });
+          const VarChain* chain =
+              cit != var_chains.end() && cit->var == x ? &*cit : nullptr;
+          std::vector<Edge>& out = read_edges[u];
+          out.reserve(2 * (re - rb));
+          auto add_edge = [&](std::uint32_t a, std::uint32_t b,
+                              core::TVarId var, Kind kind) {
+            if (a == b) return;
+            out.push_back(Edge{a, b, var, kind});
+          };
+          for (std::size_t r = rb; r < re; ++r) {
+            const ReadRef& rd = reads[r];
+            std::uint32_t version = kNone;  // kNone == the initial version
+            if (rd.val != options.initial_value) {
+              if (chain == nullptr) {
+                fail(CheckResult::failure(
+                    tx_name(nodes[rd.node].id) + " read a value of " +
+                        var_name(x) + " that no committed transaction wrote",
+                    {{Kind::kLocal, nodes[rd.node].id, nodes[rd.node].id,
+                      x}}));
+                return;
+              }
+              const auto vals_begin =
+                  value_pool.begin() +
+                  static_cast<std::ptrdiff_t>(chain->begin);
+              const auto vals_end =
+                  vals_begin + static_cast<std::ptrdiff_t>(chain->count);
+              const auto it = std::lower_bound(
+                  vals_begin, vals_end, rd.val,
+                  [](const ValIdx& a, core::Value v) { return a.value < v; });
+              if (it == vals_end || it->value != rd.val) {
+                fail(CheckResult::failure(
+                    tx_name(nodes[rd.node].id) + " read value " +
+                        std::to_string(rd.val) + " of " + var_name(x) +
+                        " that no committed transaction wrote (dirty or lost "
+                        "read)",
+                    {{Kind::kLocal, nodes[rd.node].id, nodes[rd.node].id,
+                      x}}));
+                return;
+              }
+              version = it->version;
+              add_edge(chain_pool[chain->begin + version].writer, rd.node, x,
+                       Kind::kReadsFrom);
+            } else {
+              add_edge(0, rd.node, x, Kind::kReadsFrom);  // rf from T0
+            }
+            // Anti-dependency: the reader precedes the next version's
+            // writer.
+            if (chain != nullptr) {
+              const std::uint32_t next = version + 1;  // works for kNone (0)
+              if (next < chain->count) {
+                add_edge(rd.node, chain_pool[chain->begin + next].writer, x,
+                         Kind::kAntiDependency);
+              }
+            }
+          }
+        });
+    if (CheckResult* f = first_phase_failure(fails)) return std::move(*f);
+  }
+
+  // ---- Deterministic edge concatenation ----------------------------------
+  //
+  // Version-order blocks in var order, then read-unit blocks in var order —
+  // byte-for-byte the order the sequential appends produced, which the CSR
+  // build below preserves within each from-bucket and the witness DFS
+  // iterates in.
+  std::vector<std::size_t> eoff(num_runits + 1);
+  std::size_t total_edges = ww_edges.size();
+  for (std::size_t u = 0; u < num_runits; ++u) {
+    eoff[u] = total_edges;
+    total_edges += read_edges[u].size();
+  }
+  eoff[num_runits] = total_edges;
+  if (total_edges > cap) return capacity_error("edge count", total_edges);
+  std::vector<Edge> edges(total_edges);
+  std::copy(ww_edges.begin(), ww_edges.end(), edges.begin());
+  ww_edges.clear();
+  ww_edges.shrink_to_fit();
+  runtime::parallel_for_units(workers, num_runits, [&](std::size_t u, int) {
+    std::copy(read_edges[u].begin(), read_edges[u].end(),
+              edges.begin() + static_cast<std::ptrdiff_t>(eoff[u]));
+  });
+  read_edges.clear();
+  read_edges.shrink_to_fit();
 
   // ---- CSR adjacency -----------------------------------------------------
   std::vector<std::uint32_t> offs(n + 1, 0);
@@ -472,18 +648,28 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
   // linked list threaded through completion-time order, so "minimum
   // unfinished last_seq, excluding me" is O(1) and removal on emission is
   // O(1).
+  //
+  // The loop runs in frontier rounds; large frontiers relax their
+  // out-edges on the worker pool (the only shared write is the atomic
+  // indegree decrement, and exactly one worker observes the drop to zero).
+  // The emitted set is schedule-independent: readiness is monotone in the
+  // emitted set (indegrees only fall; the minimum unfinished completion
+  // time only rises), so every schedule — one node at a time or whole
+  // frontiers — converges to the same least fixpoint, and the rt_blocked
+  // heap drain after each round (ready nodes are exactly a first_seq
+  // prefix of the heap) completes the closure.
   std::vector<std::uint32_t> rt_order;      // nodes 1..n-1 by last_seq
   std::vector<std::uint32_t> rt_next, rt_prev, rt_pos;  // list plumbing
   std::uint32_t rt_head = kNone;
   if (options.respect_real_time && n > 1) {
     rt_order.resize(n - 1);
     for (std::uint32_t i = 1; i < n; ++i) rt_order[i - 1] = i;
-    std::sort(rt_order.begin(), rt_order.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                return nodes[a].last_seq != nodes[b].last_seq
-                           ? nodes[a].last_seq < nodes[b].last_seq
-                           : a < b;
-              });
+    runtime::parallel_sort(workers, rt_order.begin(), rt_order.end(),
+                           [&](std::uint32_t a, std::uint32_t b) {
+                             return nodes[a].last_seq != nodes[b].last_seq
+                                        ? nodes[a].last_seq < nodes[b].last_seq
+                                        : a < b;
+                           });
     const std::uint32_t m = static_cast<std::uint32_t>(rt_order.size());
     rt_next.resize(m);
     rt_prev.resize(m);
@@ -517,7 +703,7 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
     return min_last >= nodes[i].first_seq;
   };
 
-  std::vector<std::uint32_t> ready;
+  std::vector<std::uint32_t> ready, next_ready;
   // indeg-0 nodes waiting only on real time, keyed by start time: once the
   // oldest is unblocked, pop while ready (see rt_ready monotonicity).
   using HeapEntry = std::pair<std::uint64_t, std::uint32_t>;
@@ -526,7 +712,7 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
       rt_blocked;
   auto enqueue = [&](std::uint32_t i) {
     if (rt_ready(i)) {
-      ready.push_back(i);
+      next_ready.push_back(i);
     } else {
       rt_blocked.emplace(nodes[i].first_seq, i);
     }
@@ -535,25 +721,55 @@ CheckResult check_mvsg(const std::vector<TxRecord>& txns,
   for (std::uint32_t i = 0; i < n; ++i) {
     if (indeg[i] == 0) enqueue(i);
   }
+  std::swap(ready, next_ready);
 
   std::vector<char> emitted(n, 0);
   std::size_t emitted_count = 0;
+  constexpr std::size_t kParallelFrontier = 4096;
+  std::vector<std::vector<std::uint32_t>> zero_scratch(
+      static_cast<std::size_t>(workers));
   while (!ready.empty()) {
-    const std::uint32_t i = ready.back();
-    ready.pop_back();
-    emitted[i] = 1;
-    ++emitted_count;
-    if (options.respect_real_time && i != 0) rt_remove(i);
-    for (std::uint32_t p = offs[i]; p < offs[i + 1]; ++p) {
-      const std::uint32_t t = edges[eidx[p]].to;
-      if (--indeg[t] == 0) enqueue(t);
+    next_ready.clear();
+    for (const std::uint32_t i : ready) {
+      emitted[i] = 1;
+      ++emitted_count;
+      if (options.respect_real_time && i != 0) rt_remove(i);
     }
-    // The emission may have raised the minimum unfinished completion time:
-    // release rt-blocked nodes in start-time order.
+    if (workers > 1 && ready.size() >= kParallelFrontier) {
+      runtime::parallel_for_blocks(
+          workers, ready.size(), [&](std::size_t b, std::size_t e, int w) {
+            std::vector<std::uint32_t>& zeros =
+                zero_scratch[static_cast<std::size_t>(w)];
+            zeros.clear();
+            for (std::size_t k = b; k < e; ++k) {
+              const std::uint32_t i = ready[k];
+              for (std::uint32_t p = offs[i]; p < offs[i + 1]; ++p) {
+                const std::uint32_t t = edges[eidx[p]].to;
+                if (std::atomic_ref<std::uint32_t>(indeg[t]).fetch_sub(
+                        1, std::memory_order_relaxed) == 1) {
+                  zeros.push_back(t);
+                }
+              }
+            }
+          });
+      for (const auto& zeros : zero_scratch) {
+        for (const std::uint32_t t : zeros) enqueue(t);
+      }
+    } else {
+      for (const std::uint32_t i : ready) {
+        for (std::uint32_t p = offs[i]; p < offs[i + 1]; ++p) {
+          const std::uint32_t t = edges[eidx[p]].to;
+          if (--indeg[t] == 0) enqueue(t);
+        }
+      }
+    }
+    // The emissions may have raised the minimum unfinished completion
+    // time: release rt-blocked nodes in start-time order.
     while (!rt_blocked.empty() && rt_ready(rt_blocked.top().second)) {
-      ready.push_back(rt_blocked.top().second);
+      next_ready.push_back(rt_blocked.top().second);
       rt_blocked.pop();
     }
+    std::swap(ready, next_ready);
   }
 
   if (emitted_count == n) return CheckResult{};

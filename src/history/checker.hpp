@@ -21,6 +21,7 @@
 //    schedule explorer generates, where it is assumption-free.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -61,6 +62,11 @@ struct CheckResult {
   //     both transactions for fork/duplicate defects, and up to four
   //     (one per unplaced writer) for a version-chain gap.
   std::vector<WitnessEdge> witness;
+  // True when the checker refused the history because an event or edge
+  // count exceeds its 32-bit index space (or the injected test cap): the
+  // history was NOT judged — this is a checker-capacity error, not an
+  // opacity verdict.
+  bool capacity_exceeded = false;
 
   // "T1 -rf[x3]-> T2 -rt-> T1" — the witness rendered for humans.
   std::string witness_str() const;
@@ -70,6 +76,11 @@ struct CheckResult {
   }
   static CheckResult failure(std::string msg, std::vector<WitnessEdge> w) {
     return CheckResult{false, std::move(msg), std::move(w)};
+  }
+  static CheckResult capacity(std::string msg) {
+    CheckResult r{false, std::move(msg), {}};
+    r.capacity_exceeded = true;
+    return r;
   }
 };
 
@@ -87,6 +98,18 @@ struct MvsgOptions {
   // effect; Definition 1 allows any commit-completion — the conservative
   // stress-test setup joins all workers so this is normally irrelevant).
   bool commit_pending_as_committed = true;
+  // Worker threads for digestion, edge construction, and the cycle pass.
+  // 1 = fully sequential (never spawns), 0 = one per hardware thread.
+  // The verdict AND the witness are bit-identical for every thread count:
+  // parallelism only changes scheduling, never the computed permutations
+  // (all sort comparators are total orders) or the Kahn residue (a
+  // schedule-independent fixpoint).
+  int threads = 1;
+  // Test hook: override the checker's index capacity (default: the 32-bit
+  // index space its flat arrays use). Histories whose transaction, access,
+  // or edge counts exceed it get a structured capacity_exceeded result
+  // instead of silently truncated indices.
+  std::size_t index_capacity = 0;
 };
 
 CheckResult check_mvsg(const std::vector<TxRecord>& txns,

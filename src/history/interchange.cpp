@@ -1,0 +1,737 @@
+#include "history/interchange.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+namespace oftm::history::interchange {
+namespace {
+
+// Imported histories without timestamps get every transaction the same
+// all-overlapping interval: no pair satisfies last_seq < first_seq, so no
+// real-time edge is ever fabricated.
+constexpr std::uint64_t kUntimedFirst = 1;
+constexpr std::uint64_t kUntimedLast = ~std::uint64_t{0} >> 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. Integers keep full uint64 precision (keys, values,
+// and sequence numbers are 64-bit); other numbers parse but carry no value.
+
+struct JValue {
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+  Type type = Type::kNull;
+  bool boolean = false;
+  bool is_int = false;  // integer that fit uint64 (negative flag aside)
+  bool negative = false;
+  std::uint64_t uint_val = 0;
+  std::string str;
+  std::vector<JValue> items;
+  std::vector<std::pair<std::string, JValue>> members;
+
+  const JValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse_document(JValue& out, std::string& err) {
+    if (!parse_value(out, err, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail(err, "trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(std::string& err, const char* msg) {
+    err = std::string(msg) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JValue& out, std::string& err, int depth) {
+    if (depth > 64) return fail(err, "nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail(err, "unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, err, depth);
+    if (c == '[') return parse_array(out, err, depth);
+    if (c == '"') {
+      out.type = JValue::Type::kString;
+      return parse_string(out.str, err);
+    }
+    if (c == 't' || c == 'f') {
+      out.type = JValue::Type::kBool;
+      out.boolean = c == 't';
+      return expect_keyword(c == 't' ? "true" : "false", err);
+    }
+    if (c == 'n') {
+      out.type = JValue::Type::kNull;
+      return expect_keyword("null", err);
+    }
+    return parse_number(out, err);
+  }
+
+  bool expect_keyword(std::string_view kw, std::string& err) {
+    if (text_.substr(pos_, kw.size()) != kw) {
+      return fail(err, "invalid literal");
+    }
+    pos_ += kw.size();
+    return true;
+  }
+
+  bool parse_number(JValue& out, std::string& err) {
+    out.type = JValue::Type::kNumber;
+    out.is_int = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      out.negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return fail(err, "invalid number");
+    }
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const std::uint64_t d = static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (v > (~std::uint64_t{0} - d) / 10) {
+        out.is_int = false;  // out of uint64 range: keep shape, drop value
+      } else {
+        v = v * 10 + d;
+      }
+      ++pos_;
+    }
+    out.uint_val = v;
+    // Fractions/exponents parse (external dumps carry float timestamps)
+    // but are not integers.
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      out.is_int = false;
+      while (pos_ < text_.size()) {
+        const char c = text_[pos_];
+        if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+            c == '+' || c == '-') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string& err) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail(err, "bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail(err, "bad \\u escape");
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            return fail(err, "surrogate pairs unsupported");
+          }
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return fail(err, "bad escape");
+      }
+    }
+    return fail(err, "unterminated string");
+  }
+
+  bool parse_array(JValue& out, std::string& err, int depth) {
+    out.type = JValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      out.items.emplace_back();
+      if (!parse_value(out.items.back(), err, depth + 1)) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(err, "unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return fail(err, "expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JValue& out, std::string& err, int depth) {
+    out.type = JValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail(err, "expected member name");
+      }
+      std::string key;
+      if (!parse_string(key, err)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return fail(err, "expected ':'");
+      }
+      out.members.emplace_back(std::move(key), JValue{});
+      if (!parse_value(out.members.back().second, err, depth + 1)) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(err, "unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return fail(err, "expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool get_uint(const JValue* v, std::uint64_t* out) {
+  if (v == nullptr || v->type != JValue::Type::kNumber || !v->is_int ||
+      v->negative) {
+    return false;
+  }
+  *out = v->uint_val;
+  return true;
+}
+
+bool get_int(const JValue* v, std::int64_t* out) {
+  if (v == nullptr || v->type != JValue::Type::kNumber || !v->is_int) {
+    return false;
+  }
+  if (v->negative) {
+    if (v->uint_val > static_cast<std::uint64_t>(
+                          std::int64_t{1} << 62)) {  // plenty for pids
+      return false;
+    }
+    *out = -static_cast<std::int64_t>(v->uint_val);
+  } else {
+    if (v->uint_val > static_cast<std::uint64_t>(~std::uint64_t{0} >> 1)) {
+      return false;
+    }
+    *out = static_cast<std::int64_t>(v->uint_val);
+  }
+  return true;
+}
+
+// elle keywords arrive as "ok" or ":ok" depending on the edn->json path.
+std::string_view strip_keyword(std::string_view s) {
+  if (!s.empty() && s.front() == ':') s.remove_prefix(1);
+  return s;
+}
+
+bool key_to_tvar(std::uint64_t key, core::TVarId* out) {
+  if (key >= static_cast<std::uint64_t>(core::kInvalidTVar)) return false;
+  *out = static_cast<core::TVarId>(key);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+// The completed, non-aborted reads and writes of a record — the ops that
+// travel (and the only ops check_mvsg consumes).
+template <typename Fn>
+void for_each_data_op(const TxRecord& rec, Fn&& fn) {
+  for (const TxOp& op : rec.ops) {
+    if (op.aborted) continue;
+    if (op.op != OpType::kRead && op.op != OpType::kWrite) continue;
+    fn(op);
+  }
+}
+
+std::string export_dbcop(const std::vector<TxRecord>& txns,
+                         const ExportOptions& options) {
+  // dbcop sessions are per-process sequences; only committed transactions
+  // exist in the format.
+  std::map<int, std::vector<const TxRecord*>> sessions;
+  std::unordered_set<core::TVarId> keys;
+  std::size_t txn_num = 0;
+  std::size_t event_num = 0;
+  for (const TxRecord& rec : txns) {
+    if (!rec.committed()) continue;
+    sessions[rec.pid].push_back(&rec);
+    ++txn_num;
+    for_each_data_op(rec, [&](const TxOp& op) {
+      keys.insert(op.tvar);
+      ++event_num;
+    });
+  }
+
+  std::string out;
+  out.reserve(64 * txn_num + 256);
+  out += "{\"id\":";
+  append_u64(out, options.history_id);
+  out += ",\"session_num\":";
+  append_u64(out, sessions.size());
+  out += ",\"key_num\":";
+  append_u64(out, keys.size());
+  out += ",\"txn_num\":";
+  append_u64(out, txn_num);
+  out += ",\"event_num\":";
+  append_u64(out, event_num);
+  out += ",\"info\":";
+  append_escaped(out, options.info);
+  out += ",\"sessions\":[";
+  bool first_session = true;
+  for (const auto& [pid, recs] : sessions) {
+    if (!first_session) out += ',';
+    first_session = false;
+    out += '[';
+    for (std::size_t t = 0; t < recs.size(); ++t) {
+      const TxRecord& rec = *recs[t];
+      if (t > 0) out += ',';
+      out += "{\"tid\":";
+      append_u64(out, rec.id);
+      out += ",\"pid\":";
+      out += std::to_string(pid);
+      out += ",\"committed\":true,\"first_seq\":";
+      append_u64(out, rec.first_seq);
+      out += ",\"last_seq\":";
+      append_u64(out, rec.last_seq);
+      out += ",\"events\":[";
+      bool first_event = true;
+      for_each_data_op(rec, [&](const TxOp& op) {
+        if (!first_event) out += ',';
+        first_event = false;
+        out += "{\"is_write\":";
+        out += op.op == OpType::kWrite ? "true" : "false";
+        out += ",\"key\":";
+        append_u64(out, op.tvar);
+        out += ",\"value\":";
+        append_u64(out, op.op == OpType::kWrite ? op.arg : op.result);
+        out += ",\"success\":true}";
+      });
+      out += "]}";
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string export_elle(const std::vector<TxRecord>& txns) {
+  std::string out;
+  out.reserve(64 * txns.size() + 64);
+  std::uint64_t index = 0;
+  for (const TxRecord& rec : txns) {
+    const char* type = rec.committed() ? "ok"
+                       : rec.aborted() ? "fail"
+                                       : "info";
+    out += "{\"type\":\"";
+    out += type;
+    out += "\",\"f\":\"txn\",\"process\":";
+    out += std::to_string(rec.pid);
+    out += ",\"index\":";
+    append_u64(out, index++);
+    out += ",\"tid\":";
+    append_u64(out, rec.id);
+    out += ",\"first_seq\":";
+    append_u64(out, rec.first_seq);
+    out += ",\"last_seq\":";
+    append_u64(out, rec.last_seq);
+    if (!rec.committed() && !rec.aborted()) {
+      // Distinguish commit-pending from never-invoked-tryC "info" lines.
+      out += ",\"pending\":";
+      out += rec.commit_pending ? "true" : "false";
+    }
+    out += ",\"value\":[";
+    bool first_op = true;
+    for_each_data_op(rec, [&](const TxOp& op) {
+      if (!first_op) out += ',';
+      first_op = false;
+      out += op.op == OpType::kWrite ? "[\"w\"," : "[\"r\",";
+      append_u64(out, op.tvar);
+      out += ',';
+      append_u64(out, op.op == OpType::kWrite ? op.arg : op.result);
+      out += ']';
+    });
+    out += "]}\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Readers
+
+struct ImportCtx {
+  std::vector<TxRecord> txns;
+  bool all_timed = true;
+  core::TxId next_synth_id = 1;
+};
+
+bool import_ops(const JValue& value, TxRecord& rec, std::string& err) {
+  if (value.type == JValue::Type::kNull) return true;  // no ops recorded
+  if (value.type != JValue::Type::kArray) {
+    err = "transaction value is not an array";
+    return false;
+  }
+  for (const JValue& entry : value.items) {
+    if (entry.type != JValue::Type::kArray || entry.items.size() < 3 ||
+        entry.items[0].type != JValue::Type::kString) {
+      err = "op entry is not [op, key, value]";
+      return false;
+    }
+    const std::string_view f = strip_keyword(entry.items[0].str);
+    if (f == "append") {
+      err = "list-append histories are not supported (rw-register only)";
+      return false;
+    }
+    if (f != "r" && f != "w") {
+      err = "unsupported op \"" + entry.items[0].str + "\"";
+      return false;
+    }
+    TxOp op;
+    std::uint64_t key = 0;
+    if (!get_uint(&entry.items[1], &key) || !key_to_tvar(key, &op.tvar)) {
+      err = "op key is not a valid t-var id";
+      return false;
+    }
+    if (f == "r") {
+      op.op = OpType::kRead;
+      if (entry.items[2].type == JValue::Type::kNull) {
+        op.result = 0;  // elle: nothing observed == the initial value
+      } else if (!get_uint(&entry.items[2], &op.result)) {
+        err = "read value is not an unsigned integer";
+        return false;
+      }
+    } else {
+      op.op = OpType::kWrite;
+      if (!get_uint(&entry.items[2], &op.arg)) {
+        err = "write value is not an unsigned integer";
+        return false;
+      }
+    }
+    rec.ops.push_back(op);
+  }
+  return true;
+}
+
+bool import_timing(const JValue& obj, TxRecord& rec, ImportCtx& ctx,
+                   std::string& err) {
+  const JValue* first = obj.find("first_seq");
+  const JValue* last = obj.find("last_seq");
+  if (first == nullptr && last == nullptr) {
+    ctx.all_timed = false;
+    return true;
+  }
+  if (!get_uint(first, &rec.first_seq) || !get_uint(last, &rec.last_seq) ||
+      rec.last_seq < rec.first_seq) {
+    err = "invalid first_seq/last_seq pair";
+    return false;
+  }
+  return true;
+}
+
+void import_identity(const JValue& obj, TxRecord& rec, ImportCtx& ctx,
+                     int default_pid) {
+  std::uint64_t tid = 0;
+  if (get_uint(obj.find("tid"), &tid) && tid != 0) {
+    rec.id = tid;
+    ctx.next_synth_id = std::max(ctx.next_synth_id, tid + 1);
+  } else {
+    rec.id = ctx.next_synth_id++;
+  }
+  std::int64_t pid = 0;
+  const JValue* pv = obj.find("pid");
+  if (pv == nullptr) pv = obj.find("process");
+  rec.pid = get_int(pv, &pid) ? static_cast<int>(pid) : default_pid;
+}
+
+ImportResult finish_import(ImportCtx&& ctx) {
+  ImportResult result;
+  result.has_real_time = ctx.all_timed;
+  if (!ctx.all_timed) {
+    for (TxRecord& rec : ctx.txns) {
+      rec.first_seq = kUntimedFirst;
+      rec.last_seq = kUntimedLast;
+    }
+  } else {
+    // The recorder's convention: records sorted by start time, so node
+    // numbering (and witnesses) match the history the export came from.
+    std::stable_sort(ctx.txns.begin(), ctx.txns.end(),
+                     [](const TxRecord& a, const TxRecord& b) {
+                       return a.first_seq < b.first_seq;
+                     });
+  }
+  result.ok = true;
+  result.txns = std::move(ctx.txns);
+  return result;
+}
+
+ImportResult import_error(std::string msg) {
+  ImportResult r;
+  r.error = std::move(msg);
+  return r;
+}
+
+ImportResult import_dbcop(const JValue& doc) {
+  if (doc.type != JValue::Type::kObject) {
+    return import_error("dbcop history is not a JSON object");
+  }
+  const JValue* sessions = doc.find("sessions");
+  if (sessions == nullptr || sessions->type != JValue::Type::kArray) {
+    return import_error("dbcop history has no \"sessions\" array");
+  }
+  ImportCtx ctx;
+  for (std::size_t s = 0; s < sessions->items.size(); ++s) {
+    const JValue& session = sessions->items[s];
+    if (session.type != JValue::Type::kArray) {
+      return import_error("session " + std::to_string(s) +
+                          " is not an array");
+    }
+    for (std::size_t t = 0; t < session.items.size(); ++t) {
+      const JValue& txn = session.items[t];
+      TxRecord rec;
+      std::string err;
+      const auto describe = [&](const std::string& msg) {
+        return import_error("session " + std::to_string(s) +
+                            " transaction " + std::to_string(t) + ": " + msg);
+      };
+      // Two accepted shapes: our object form ({"events":[...], extras})
+      // and plain dbcop (a bare array of event objects).
+      const JValue* events = nullptr;
+      bool committed = true;
+      bool have_committed_flag = false;
+      if (txn.type == JValue::Type::kObject) {
+        events = txn.find("events");
+        if (events == nullptr || events->type != JValue::Type::kArray) {
+          return describe("missing \"events\" array");
+        }
+        if (const JValue* c = txn.find("committed")) {
+          if (c->type != JValue::Type::kBool) {
+            return describe("\"committed\" is not a bool");
+          }
+          committed = c->boolean;
+          have_committed_flag = true;
+        }
+        if (!import_timing(txn, rec, ctx, err)) return describe(err);
+        import_identity(txn, rec, ctx, static_cast<int>(s));
+      } else if (txn.type == JValue::Type::kArray) {
+        events = &txn;
+        ctx.all_timed = false;
+        rec.id = ctx.next_synth_id++;
+        rec.pid = static_cast<int>(s);
+      } else {
+        return describe("not an object or array");
+      }
+      for (const JValue& ev : events->items) {
+        if (ev.type != JValue::Type::kObject) {
+          return describe("event is not an object");
+        }
+        const JValue* is_write = ev.find("is_write");
+        if (is_write == nullptr || is_write->type != JValue::Type::kBool) {
+          return describe("event has no \"is_write\" bool");
+        }
+        TxOp op;
+        std::uint64_t key = 0;
+        if (!get_uint(ev.find("key"), &key) ||
+            !key_to_tvar(key, &op.tvar)) {
+          return describe("event key is not a valid t-var id");
+        }
+        std::uint64_t value = 0;
+        if (!get_uint(ev.find("value"), &value)) {
+          return describe("event value is not an unsigned integer");
+        }
+        if (const JValue* success = ev.find("success")) {
+          if (success->type != JValue::Type::kBool) {
+            return describe("\"success\" is not a bool");
+          }
+          if (!success->boolean) {
+            // A failed operation response carries no reliable value.
+            op.aborted = true;
+            if (!have_committed_flag) committed = false;
+          }
+        }
+        if (is_write->boolean) {
+          op.op = OpType::kWrite;
+          op.arg = value;
+        } else {
+          op.op = OpType::kRead;
+          op.result = value;
+        }
+        rec.ops.push_back(op);
+      }
+      rec.final_status =
+          committed ? core::TxStatus::kCommitted : core::TxStatus::kAborted;
+      ctx.txns.push_back(std::move(rec));
+    }
+  }
+  return finish_import(std::move(ctx));
+}
+
+ImportResult import_elle(std::string_view text) {
+  ImportCtx ctx;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    const auto describe = [&](const std::string& msg) {
+      return import_error("line " + std::to_string(line_no) + ": " + msg);
+    };
+    JValue obj;
+    std::string err;
+    JsonParser parser(line);
+    if (!parser.parse_document(obj, err)) return describe(err);
+    if (obj.type != JValue::Type::kObject) {
+      return describe("not a JSON object");
+    }
+    const JValue* type = obj.find("type");
+    if (type == nullptr || type->type != JValue::Type::kString) {
+      return describe("missing \"type\"");
+    }
+    const std::string_view t = strip_keyword(type->str);
+    if (t == "invoke") continue;  // the completion line carries the results
+    if (t != "ok" && t != "fail" && t != "info") {
+      return describe("unsupported type \"" + type->str + "\"");
+    }
+    TxRecord rec;
+    if (t == "ok") {
+      rec.final_status = core::TxStatus::kCommitted;
+    } else if (t == "fail") {
+      rec.final_status = core::TxStatus::kAborted;
+    } else {
+      rec.final_status = core::TxStatus::kActive;
+      rec.commit_pending = true;
+      if (const JValue* pending = obj.find("pending")) {
+        if (pending->type == JValue::Type::kBool) {
+          rec.commit_pending = pending->boolean;
+        }
+      }
+    }
+    if (!import_timing(obj, rec, ctx, err)) return describe(err);
+    import_identity(obj, rec, ctx, /*default_pid=*/0);
+    if (const JValue* value = obj.find("value")) {
+      if (!import_ops(*value, rec, err)) return describe(err);
+    }
+    ctx.txns.push_back(std::move(rec));
+  }
+  return finish_import(std::move(ctx));
+}
+
+}  // namespace
+
+std::string export_history(const std::vector<TxRecord>& txns,
+                           const ExportOptions& options) {
+  return options.format == Format::kDbcop ? export_dbcop(txns, options)
+                                          : export_elle(txns);
+}
+
+ImportResult import_history(std::string_view text, Format format) {
+  if (format == Format::kElle) return import_elle(text);
+  JValue doc;
+  std::string err;
+  JsonParser parser(text);
+  if (!parser.parse_document(doc, err)) return import_error(err);
+  return import_dbcop(doc);
+}
+
+ImportResult import_history(std::string_view text) {
+  // A dbcop dump is one object with a "sessions" member; elle histories
+  // are JSON lines (many documents, rarely with "sessions").
+  JValue doc;
+  std::string err;
+  JsonParser parser(text);
+  if (parser.parse_document(doc, err) &&
+      doc.type == JValue::Type::kObject && doc.find("sessions") != nullptr) {
+    return import_dbcop(doc);
+  }
+  return import_elle(text);
+}
+
+}  // namespace oftm::history::interchange

@@ -1,0 +1,80 @@
+// History interchange with external transactional-consistency checkers.
+//
+// Two dialects, both JSON renderings of formats the dbcop/elle tool
+// families consume (the field vocabulary follows dbcop's
+// IS_WRITE/KEY/VALUE/SUCCESS event schema and elle's completed-op lines):
+//
+//  * Format::kDbcop — one JSON document:
+//      {"id":0,"session_num":S,"key_num":K,"txn_num":T,"event_num":E,
+//       "info":"...","sessions":[[TXN,...],...]}
+//    where each TXN is {"tid":...,"pid":...,"committed":true,
+//    "first_seq":...,"last_seq":...,"events":[{"is_write":false,"key":3,
+//    "value":42,"success":true},...]}. Sessions group transactions by
+//    recording pid. dbcop histories carry only committed transactions, so
+//    this dialect's export drops aborted/live ones. Imports also accept
+//    plain dbcop-shaped transactions — a bare array of event objects,
+//    without our tid/pid/seq extras.
+//
+//  * Format::kElle — JSON lines, one *completed* Jepsen/elle rw-register
+//    transaction per line:
+//      {"type":"ok","f":"txn","process":2,"index":7,
+//       "value":[["r",3,42],["w",3,99]],...}
+//    "ok" maps to committed, "fail" to aborted, "info" to unknown outcome
+//    (imported as commit-pending unless a "pending":false extra says the
+//    transaction never invoked tryC). ":"-prefixed keywords (":ok", ":r")
+//    are accepted on import. List-append histories (["append",...]) are
+//    rejected: the checker's vocabulary is rw-register.
+//
+// Compatibility contract:
+//  * Values are the unsigned 64-bit register values check_mvsg speaks; a
+//    read of elle's `null` (nothing observed) imports as value 0, the
+//    checker's default initial_value.
+//  * Real time: exports embed first_seq/last_seq, so export→import→check
+//    round trips preserve verdicts and witnesses exactly, including under
+//    respect_real_time. External histories without them get every
+//    transaction the same all-overlapping interval — sound (no fabricated
+//    real-time edges) but vacuous under respect_real_time; check untimed
+//    imports with it off. ImportResult::has_real_time says which case
+//    applies.
+//  * Only a transaction's completed, non-aborted reads/writes travel;
+//    per-op sequence numbers and tryC/tryA ops do not (check_mvsg never
+//    reads them).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "history/event.hpp"
+
+namespace oftm::history::interchange {
+
+enum class Format { kDbcop, kElle };
+
+struct ExportOptions {
+  Format format = Format::kDbcop;
+  std::uint64_t history_id = 0;  // dbcop "id" field
+  std::string info = "oftm";     // dbcop "info" field
+};
+
+std::string export_history(const std::vector<TxRecord>& txns,
+                           const ExportOptions& options = {});
+
+struct ImportResult {
+  bool ok = false;
+  std::string error;  // empty iff ok
+  // Sorted by first_seq when has_real_time (the recorder's convention, so
+  // node numbering — and therefore witnesses — match the original
+  // history); otherwise in input order.
+  std::vector<TxRecord> txns;
+  // True when every imported transaction carried first_seq/last_seq.
+  bool has_real_time = false;
+};
+
+ImportResult import_history(std::string_view text, Format format);
+
+// Sniffs the dialect: a document whose first JSON value is an object with
+// a "sessions" member is dbcop; anything else is treated as elle lines.
+ImportResult import_history(std::string_view text);
+
+}  // namespace oftm::history::interchange

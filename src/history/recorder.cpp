@@ -6,6 +6,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "runtime/parallel.hpp"
 #include "runtime/thread_registry.hpp"
 
 namespace oftm::history {
@@ -20,11 +21,17 @@ std::uint64_t Recorder::record(Event e) {
 void Recorder::reserve(std::size_t events) {
   std::scoped_lock lk(mu_);
   events_.reserve(events);
+  reserved_ = std::max(reserved_, events);
 }
 
 std::size_t Recorder::size() const {
   std::scoped_lock lk(mu_);
   return events_.size();
+}
+
+std::size_t Recorder::reserved() const {
+  std::scoped_lock lk(mu_);
+  return reserved_;
 }
 
 std::vector<Event> Recorder::events() const {
@@ -43,6 +50,63 @@ std::vector<Event> Recorder::events() const {
   return out;
 }
 
+namespace {
+
+// Finalizer-style hash for sharding transactions/pids across digestion
+// workers. The recorder's own tx ids are (thread << 48 | counter), so a
+// plain modulo would be fine, but imported histories carry arbitrary ids.
+std::uint64_t shard_hash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// One event's contribution to its transaction's record. Factored out so the
+// sequential scan and every digestion worker run the identical state
+// machine — a record's content depends only on its own events, in seq
+// order, which both paths preserve.
+void digest_event(const Event& e,
+                  std::unordered_map<core::TxId, TxRecord>& by_tx,
+                  std::unordered_map<core::TxId, Event>& open_inv) {
+  TxRecord& rec = by_tx[e.tx];
+  if (rec.ops.empty() && rec.first_seq == 0) {
+    rec.id = e.tx;
+    rec.pid = e.pid;
+    rec.first_seq = e.seq;
+  }
+  rec.last_seq = e.seq;
+
+  if (e.kind == Event::Kind::kInvoke) {
+    open_inv[e.tx] = e;
+    if (e.op == OpType::kTryCommit) rec.commit_pending = true;
+    if (e.op == OpType::kTryAbort) rec.requested_abort = true;
+  } else {
+    auto it = open_inv.find(e.tx);
+    TxOp op;
+    op.op = e.op;
+    op.tvar = e.tvar;
+    op.result = e.result;
+    op.aborted = e.aborted;
+    op.resp_seq = e.seq;
+    if (it != open_inv.end()) {
+      op.arg = it->second.arg;
+      op.inv_seq = it->second.seq;
+      open_inv.erase(it);
+    }
+    rec.ops.push_back(op);
+    if (e.op == OpType::kTryCommit) {
+      rec.commit_pending = false;
+      rec.final_status = e.aborted ? core::TxStatus::kAborted
+                                   : core::TxStatus::kCommitted;
+    } else if (e.aborted) {
+      rec.final_status = core::TxStatus::kAborted;
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<TxRecord> Recorder::transactions() const {
   return transactions(events());
 }
@@ -52,42 +116,7 @@ std::vector<TxRecord> Recorder::transactions(const std::vector<Event>& evs) {
   std::unordered_map<core::TxId, Event> open_inv;  // pending invocation per tx
   by_tx.reserve(evs.size() / 8 + 16);
 
-  for (const Event& e : evs) {
-    TxRecord& rec = by_tx[e.tx];
-    if (rec.ops.empty() && rec.first_seq == 0) {
-      rec.id = e.tx;
-      rec.pid = e.pid;
-      rec.first_seq = e.seq;
-    }
-    rec.last_seq = e.seq;
-
-    if (e.kind == Event::Kind::kInvoke) {
-      open_inv[e.tx] = e;
-      if (e.op == OpType::kTryCommit) rec.commit_pending = true;
-      if (e.op == OpType::kTryAbort) rec.requested_abort = true;
-    } else {
-      auto it = open_inv.find(e.tx);
-      TxOp op;
-      op.op = e.op;
-      op.tvar = e.tvar;
-      op.result = e.result;
-      op.aborted = e.aborted;
-      op.resp_seq = e.seq;
-      if (it != open_inv.end()) {
-        op.arg = it->second.arg;
-        op.inv_seq = it->second.seq;
-        open_inv.erase(it);
-      }
-      rec.ops.push_back(op);
-      if (e.op == OpType::kTryCommit) {
-        rec.commit_pending = false;
-        rec.final_status = e.aborted ? core::TxStatus::kAborted
-                                     : core::TxStatus::kCommitted;
-      } else if (e.aborted) {
-        rec.final_status = core::TxStatus::kAborted;
-      }
-    }
-  }
+  for (const Event& e : evs) digest_event(e, by_tx, open_inv);
 
   std::vector<TxRecord> out;
   out.reserve(by_tx.size());
@@ -95,6 +124,47 @@ std::vector<TxRecord> Recorder::transactions(const std::vector<Event>& evs) {
   std::sort(out.begin(), out.end(), [](const TxRecord& a, const TxRecord& b) {
     return a.first_seq < b.first_seq;
   });
+  return out;
+}
+
+std::vector<TxRecord> Recorder::transactions(const std::vector<Event>& evs,
+                                             int threads) {
+  const int workers = runtime::resolve_workers(threads);
+  if (workers <= 1) return transactions(evs);
+
+  // Shard by tx id: each worker scans the whole log but digests only its
+  // shard, so a transaction's events all land in one worker, in seq order.
+  // The scans are read-only and cache-friendly; the per-worker maps are
+  // where the sequential version spends its time.
+  const std::uint64_t w64 = static_cast<std::uint64_t>(workers);
+  std::vector<std::vector<TxRecord>> shards(static_cast<std::size_t>(workers));
+  runtime::run_on_workers(workers, [&](int w) {
+    std::unordered_map<core::TxId, TxRecord> by_tx;
+    std::unordered_map<core::TxId, Event> open_inv;
+    by_tx.reserve(evs.size() / (8 * w64) + 16);
+    for (const Event& e : evs) {
+      if (shard_hash(e.tx) % w64 != static_cast<std::uint64_t>(w)) continue;
+      digest_event(e, by_tx, open_inv);
+    }
+    std::vector<TxRecord>& out = shards[static_cast<std::size_t>(w)];
+    out.reserve(by_tx.size());
+    for (auto& [id, rec] : by_tx) out.push_back(std::move(rec));
+  });
+
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  std::vector<TxRecord> out;
+  out.reserve(total);
+  for (auto& s : shards) {
+    for (TxRecord& rec : s) out.push_back(std::move(rec));
+  }
+  // first_seq values are unique (one event owns each seq), so this total
+  // order has a single sorted permutation: identical output to the
+  // sequential overload regardless of shard count.
+  runtime::parallel_sort(workers, out.begin(), out.end(),
+                         [](const TxRecord& a, const TxRecord& b) {
+                           return a.first_seq < b.first_seq;
+                         });
   return out;
 }
 
@@ -133,6 +203,63 @@ std::string Recorder::check_well_formed(const std::vector<Event>& evs) {
     }
   }
   return "";
+}
+
+std::string Recorder::check_well_formed(const std::vector<Event>& evs,
+                                        int threads) {
+  const int workers = runtime::resolve_workers(threads);
+  if (workers <= 1) return check_well_formed(evs);
+
+  // A pid's event subsequence is self-contained (the state machine is per
+  // process), so shard by pid. Each worker scans in seq order and keeps
+  // its first diagnostic; the smallest seq across workers is the same
+  // event the sequential scan trips on first.
+  struct FirstError {
+    std::uint64_t seq = ~std::uint64_t{0};
+    std::string msg;
+  };
+  const std::uint64_t w64 = static_cast<std::uint64_t>(workers);
+  std::vector<FirstError> errors(static_cast<std::size_t>(workers));
+  runtime::run_on_workers(workers, [&](int w) {
+    std::map<int, const Event*> pending;
+    for (const Event& e : evs) {
+      if (shard_hash(static_cast<std::uint64_t>(e.pid)) % w64 !=
+          static_cast<std::uint64_t>(w)) {
+        continue;
+      }
+      auto it = pending.find(e.pid);
+      if (e.kind == Event::Kind::kInvoke) {
+        if (it != pending.end() && it->second != nullptr) {
+          errors[static_cast<std::size_t>(w)] = FirstError{
+              e.seq, "invocation while an operation is pending at pid " +
+                         std::to_string(e.pid)};
+          return;
+        }
+        pending[e.pid] = &e;
+      } else {
+        if (it == pending.end() || it->second == nullptr) {
+          errors[static_cast<std::size_t>(w)] =
+              FirstError{e.seq, "response without invocation at pid " +
+                                    std::to_string(e.pid)};
+          return;
+        }
+        const Event& inv = *it->second;
+        if (inv.tx != e.tx || inv.op != e.op) {
+          errors[static_cast<std::size_t>(w)] =
+              FirstError{e.seq, "response does not match invocation at pid " +
+                                    std::to_string(e.pid)};
+          return;
+        }
+        pending[e.pid] = nullptr;
+      }
+    }
+  });
+  const FirstError* first = nullptr;
+  for (const FirstError& err : errors) {
+    if (err.seq == ~std::uint64_t{0}) continue;
+    if (first == nullptr || err.seq < first->seq) first = &err;
+  }
+  return first != nullptr ? first->msg : "";
 }
 
 std::string Recorder::format() const {

@@ -31,6 +31,12 @@ class Recorder {
   // Number of events recorded so far.
   std::size_t size() const;
 
+  // High-water reserve() request (0 when never called). Checked-stress
+  // tiers assert size() <= reserved() so pre-sizing drift — an estimator
+  // underestimate forcing mid-run reallocation under the recorder lock —
+  // fails loudly instead of silently costing copy stalls.
+  std::size_t reserved() const;
+
   // Snapshot of all events, sorted by seq.
   std::vector<Event> events() const;
 
@@ -38,16 +44,27 @@ class Recorder {
   // The static overload digests an existing snapshot — large-history
   // callers take one events() snapshot and feed it to both this and
   // check_well_formed instead of paying the full-log copy twice.
+  // With threads > 1, transactions are sharded across workers by tx-id
+  // hash; output is identical to the sequential overload for every thread
+  // count (each record is built from its own events in seq order, and
+  // first_seq values are unique, so the sorted result is one permutation).
   std::vector<TxRecord> transactions() const;
   static std::vector<TxRecord> transactions(const std::vector<Event>& events);
+  static std::vector<TxRecord> transactions(const std::vector<Event>& events,
+                                            int threads);
 
   void clear();
 
   // Well-formedness of the recorded history (Section 2.1): per process,
   // alternating invocation/response of matching operations. Returns an
-  // empty string if well-formed, else a diagnostic.
+  // empty string if well-formed, else a diagnostic. The threaded overload
+  // shards by pid (each pid's event subsequence is self-contained) and
+  // reports the diagnostic with the smallest seq — the same one the
+  // sequential scan hits first.
   std::string check_well_formed() const;
   static std::string check_well_formed(const std::vector<Event>& events);
+  static std::string check_well_formed(const std::vector<Event>& events,
+                                       int threads);
 
   std::string format() const;
 
@@ -55,6 +72,7 @@ class Recorder {
   mutable std::mutex mu_;
   std::vector<Event> events_;
   std::uint64_t next_seq_ = 1;
+  std::size_t reserved_ = 0;
 };
 
 // TransactionalMemory decorator: forwards to `inner` and records a

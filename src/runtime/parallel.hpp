@@ -1,0 +1,129 @@
+// Deterministic fork/join parallelism for batch jobs (checker digestion,
+// recorder digestion). Not for transaction hot paths: every parallel_*
+// call spawns its workers and joins them before returning, which costs
+// tens of microseconds — negligible for a whole-history pass that runs
+// once, unacceptable per transaction.
+//
+// Determinism contract: every helper here produces output that is a pure
+// function of its input and the work decomposition — never of thread
+// scheduling. parallel_sort additionally requires a *total* order (no two
+// elements the comparator considers equal) so the sorted permutation is
+// unique; all checker comparators qualify (ties are broken by node index).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace oftm::runtime {
+
+// 0 => one worker per hardware thread; otherwise the request, floored at 1.
+inline int resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// Run fn(worker_index) on `workers` workers; the caller runs worker 0, so
+// workers == 1 never spawns a thread (and is exactly a plain call).
+template <typename Fn>
+void run_on_workers(int workers, Fn&& fn) {
+  if (workers <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    pool.emplace_back([&fn, w] { fn(w); });
+  }
+  fn(0);
+  for (std::thread& t : pool) t.join();
+}
+
+// Static block decomposition of [0, n): worker w gets [begin, end).
+inline std::pair<std::size_t, std::size_t> block_range(std::size_t n,
+                                                       int workers, int w) {
+  const std::size_t ww = static_cast<std::size_t>(workers);
+  const std::size_t wi = static_cast<std::size_t>(w);
+  const std::size_t base = n / ww;
+  const std::size_t extra = n % ww;
+  const std::size_t begin = wi * base + std::min(wi, extra);
+  return {begin, begin + base + (wi < extra ? 1 : 0)};
+}
+
+// fn(begin, end, worker) over a static block decomposition of [0, n).
+template <typename Fn>
+void parallel_for_blocks(int workers, std::size_t n, Fn&& fn) {
+  if (workers <= 1 || n == 0) {
+    fn(std::size_t{0}, n, 0);
+    return;
+  }
+  run_on_workers(workers, [&](int w) {
+    const auto [b, e] = block_range(n, workers, w);
+    if (b < e) fn(b, e, w);
+  });
+}
+
+// fn(unit, worker) for each unit in [0, num_units), dynamically scheduled:
+// workers pull the next unit off a shared counter, so one giant unit (a
+// single hot t-var owning most of the writes) does not serialize the rest
+// of the batch behind it the way a static split would.
+template <typename Fn>
+void parallel_for_units(int workers, std::size_t num_units, Fn&& fn) {
+  if (workers <= 1 || num_units <= 1) {
+    for (std::size_t u = 0; u < num_units; ++u) fn(u, 0);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  run_on_workers(workers, [&](int w) {
+    for (;;) {
+      const std::size_t u = next.fetch_add(1, std::memory_order_relaxed);
+      if (u >= num_units) return;
+      fn(u, w);
+    }
+  });
+}
+
+// Sort [begin, end) under a strict total order `cmp` (no ties), producing
+// the same permutation std::sort would: chunk-sort in parallel, then merge
+// chunks pairwise (log rounds, each round merging disjoint adjacent pairs
+// in parallel via std::inplace_merge). With workers <= 1 this IS std::sort.
+template <typename It, typename Cmp>
+void parallel_sort(int workers, It begin, It end, Cmp cmp) {
+  const std::size_t n = static_cast<std::size_t>(end - begin);
+  constexpr std::size_t kSerialCutoff = 1u << 14;
+  if (workers <= 1 || n <= kSerialCutoff) {
+    std::sort(begin, end, cmp);
+    return;
+  }
+  const std::size_t chunks = static_cast<std::size_t>(workers);
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) {
+    bounds[c] = block_range(n, workers, static_cast<int>(c)).first;
+  }
+  bounds[chunks] = n;
+  parallel_for_units(workers, chunks, [&](std::size_t c, int) {
+    std::sort(begin + static_cast<std::ptrdiff_t>(bounds[c]),
+              begin + static_cast<std::ptrdiff_t>(bounds[c + 1]), cmp);
+  });
+  for (std::size_t stride = 1; stride < chunks; stride *= 2) {
+    std::vector<std::size_t> merges;  // left chunk index of each pair
+    for (std::size_t c = 0; c + stride < chunks; c += 2 * stride) {
+      merges.push_back(c);
+    }
+    parallel_for_units(workers, merges.size(), [&](std::size_t m, int) {
+      const std::size_t lo = bounds[merges[m]];
+      const std::size_t mid = bounds[merges[m] + stride];
+      const std::size_t hi = bounds[std::min(merges[m] + 2 * stride, chunks)];
+      std::inplace_merge(begin + static_cast<std::ptrdiff_t>(lo),
+                         begin + static_cast<std::ptrdiff_t>(mid),
+                         begin + static_cast<std::ptrdiff_t>(hi), cmp);
+    });
+  }
+}
+
+}  // namespace oftm::runtime

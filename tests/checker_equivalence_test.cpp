@@ -13,6 +13,7 @@
 
 #include "checker_reference.hpp"
 #include "history/checker.hpp"
+#include "history/interchange.hpp"
 #include "history/recorder.hpp"
 #include "history/synth.hpp"
 #include "workload/driver.hpp"
@@ -20,6 +21,69 @@
 
 namespace oftm::history {
 namespace {
+
+// Sequential-vs-parallel is a stronger contract than old-vs-new: not just
+// the verdict but the error string and the full typed witness must be
+// bit-identical at every thread count (MvsgOptions::threads documents
+// this determinism guarantee; CI runs would be undiagnosable otherwise).
+void expect_parallel_identical(const std::vector<TxRecord>& txns,
+                               const std::string& what) {
+  for (const bool strict : {false, true}) {
+    MvsgOptions opts;
+    opts.respect_real_time = strict;
+    opts.include_aborted_readers = strict;
+    const CheckResult seq = check_mvsg(txns, opts);
+    for (const int threads : {2, 8}) {
+      MvsgOptions par_opts = opts;
+      par_opts.threads = threads;
+      const CheckResult par = check_mvsg(txns, par_opts);
+      const std::string label = what + (strict ? " [strict]" : " [plain]") +
+                                " threads=" + std::to_string(threads);
+      EXPECT_EQ(seq.ok, par.ok) << label;
+      EXPECT_EQ(seq.error, par.error) << label;
+      EXPECT_EQ(seq.witness_str(), par.witness_str()) << label;
+      EXPECT_EQ(seq.capacity_exceeded, par.capacity_exceeded) << label;
+    }
+  }
+}
+
+// Export→import→check must preserve the verdict and the witness for both
+// interchange dialects (the embedded first_seq/last_seq and the sorted-by-
+// first-seq import convention make node numbering line up exactly).
+void expect_roundtrip_identical(const std::vector<TxRecord>& txns,
+                                const std::string& what) {
+  const MvsgOptions opts{.respect_real_time = true};
+  const CheckResult direct = check_mvsg(txns, opts);
+  for (const auto format :
+       {interchange::Format::kDbcop, interchange::Format::kElle}) {
+    interchange::ExportOptions eo;
+    eo.format = format;
+    const auto imported =
+        interchange::import_history(interchange::export_history(txns, eo));
+    const std::string label =
+        what + (format == interchange::Format::kDbcop ? " [dbcop]"
+                                                      : " [elle]");
+    ASSERT_TRUE(imported.ok) << label << ": " << imported.error;
+    EXPECT_TRUE(imported.has_real_time) << label;
+    // dbcop carries only committed transactions, so compare against the
+    // committed projection for that dialect.
+    std::vector<TxRecord> expect_txns;
+    if (format == interchange::Format::kDbcop) {
+      for (const TxRecord& rec : txns) {
+        if (rec.committed()) expect_txns.push_back(rec);
+      }
+    } else {
+      expect_txns = txns;
+    }
+    const CheckResult want = format == interchange::Format::kDbcop
+                                 ? check_mvsg(expect_txns, opts)
+                                 : direct;
+    const CheckResult got = check_mvsg(imported.txns, opts);
+    EXPECT_EQ(want.ok, got.ok) << label;
+    EXPECT_EQ(want.error, got.error) << label;
+    EXPECT_EQ(want.witness_str(), got.witness_str()) << label;
+  }
+}
 
 void expect_same_verdict(const std::vector<TxRecord>& txns,
                          const std::string& what) {
@@ -63,6 +127,19 @@ TEST_P(CheckerEquivalenceTest, RecordedHistoriesAgree) {
     const auto txns = record_workload(GetParam(), seed);
     expect_same_verdict(txns, GetParam() + " seed " + std::to_string(seed));
   }
+}
+
+TEST_P(CheckerEquivalenceTest, ParallelCheckerMatchesSequential) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto txns = record_workload(GetParam(), seed);
+    expect_parallel_identical(txns,
+                              GetParam() + " seed " + std::to_string(seed));
+  }
+}
+
+TEST_P(CheckerEquivalenceTest, InterchangeRoundTripMatches) {
+  const auto txns = record_workload(GetParam(), /*seed=*/1);
+  expect_roundtrip_identical(txns, GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -121,6 +198,107 @@ TEST(CheckerEquivalence, SyntheticHistoriesAgreeCleanAndMutated) {
       }
     }
   }
+}
+
+// The parallel path's bit-identical contract on synthetic histories: clean
+// and all four mutation classes, both skew extremes. Failing histories are
+// the interesting half — the parallel first-failure reduction and the
+// witness extraction must pick the same cycle the sequential scan finds.
+TEST(CheckerEquivalence, ParallelMatchesSequentialOnSyntheticHistories) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const double hot : {0.0, 1.0}) {
+      synth::SynthOptions opts;
+      opts.transactions = 300;
+      opts.num_tvars = 16;
+      opts.seed = seed;
+      opts.hot_fraction = hot;
+      const auto clean = synth::make_history(opts);
+      expect_parallel_identical(clean, "synthetic clean");
+
+      auto dirty = clean;
+      for (TxRecord& rec : dirty) {
+        if (rec.ops.empty() || rec.ops[0].op != OpType::kRead) continue;
+        synth::poison_external_reads(rec, rec.ops[0].tvar,
+                                     0xBAD00000000ull + seed);
+        break;
+      }
+      expect_parallel_identical(dirty, "synthetic dirty read");
+
+      auto forked = clean;
+      core::TxId fork_a = 0, fork_b = 0;
+      if (synth::seed_lost_update(forked, 0, &fork_a, &fork_b)) {
+        expect_parallel_identical(forked, "synthetic lost update");
+      }
+
+      auto dup = clean;
+      core::TxId dup_writer = 0;
+      if (synth::append_duplicate_writer(dup, 0, 0xDDDD, &dup_writer)) {
+        expect_parallel_identical(dup, "synthetic duplicate version");
+      }
+
+      auto stale = clean;
+      if (synth::append_stale_reader(stale, 0, 0xEEEE)) {
+        expect_parallel_identical(stale, "synthetic real-time inversion");
+      }
+    }
+  }
+}
+
+TEST(CheckerEquivalence, InterchangeRoundTripOnSyntheticHistories) {
+  for (const double hot : {0.0, 1.0}) {
+    synth::SynthOptions opts;
+    opts.transactions = 300;
+    opts.num_tvars = 16;
+    opts.hot_fraction = hot;
+    const auto clean = synth::make_history(opts);
+    expect_roundtrip_identical(clean, "synthetic clean");
+
+    // A violating history must still be rejected — with the same witness —
+    // after travelling through either dialect.
+    auto forked = clean;
+    core::TxId fork_a = 0, fork_b = 0;
+    if (synth::seed_lost_update(forked, 0, &fork_a, &fork_b)) {
+      expect_roundtrip_identical(forked, "synthetic lost update");
+    }
+  }
+}
+
+// Regression for the silent uint32_t truncation: index construction used
+// to wrap past 2^32 entries and misattribute accesses. Now any history
+// over the (injectable) capacity reports a structured error instead of a
+// bogus verdict.
+TEST(CheckerEquivalence, IndexCapacityGuardReportsStructuredError) {
+  synth::SynthOptions opts;
+  opts.transactions = 100;
+  opts.num_tvars = 8;
+  const auto txns = synth::make_history(opts);
+
+  MvsgOptions ok_opts;
+  ok_opts.index_capacity = 1u << 20;
+  const CheckResult fits = check_mvsg(txns, ok_opts);
+  EXPECT_TRUE(fits.ok);
+  EXPECT_FALSE(fits.capacity_exceeded);
+
+  for (const int threads : {1, 2, 8}) {
+    MvsgOptions small;
+    small.index_capacity = 50;  // fewer than the 100 transactions
+    small.threads = threads;
+    const CheckResult over = check_mvsg(txns, small);
+    EXPECT_FALSE(over.ok) << "threads=" << threads;
+    EXPECT_TRUE(over.capacity_exceeded) << "threads=" << threads;
+    EXPECT_NE(over.error.find("exceeds checker index space"),
+              std::string::npos)
+        << over.error;
+    EXPECT_TRUE(over.witness.empty());
+  }
+
+  // The guard also trips on access counts, not just transaction counts:
+  // 100 txns fit under a cap of 150 but their reads/writes do not.
+  MvsgOptions mid;
+  mid.index_capacity = 150;
+  const CheckResult over_ops = check_mvsg(txns, mid);
+  EXPECT_FALSE(over_ops.ok);
+  EXPECT_TRUE(over_ops.capacity_exceeded);
 }
 
 }  // namespace

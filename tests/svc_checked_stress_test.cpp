@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/memory_model.hpp"
@@ -84,10 +85,13 @@ std::vector<history::Event> project_scratch(
 // Run the service on `backend` with recorded shards; certify opacity of
 // each shard's scratch projection and the cross-shard conservation audit.
 template <typename Model>
-void run_checked(const std::string& backend, std::uint64_t ops_per_client,
-                 std::size_t reserve_per_shard) {
+void run_checked(const std::string& backend, std::uint64_t ops_per_client) {
   const ServiceConfig cfg = checked_config(backend, ops_per_client);
   const auto scratch_base = static_cast<core::TVarId>(shard_tvar_words(cfg));
+  // Boxed recipes record container traffic; region container words forward
+  // unrecorded (only the scratch projection lands in the history).
+  const std::size_t reserve_per_shard = estimated_shard_history_events(
+      cfg, /*records_container_ops=*/std::is_same_v<Model, core::BoxedMemory>);
 
   auto inner = make_service_tms(cfg);
   std::vector<std::unique_ptr<history::Recorder>> recorders;
@@ -133,15 +137,25 @@ void run_checked(const std::string& backend, std::uint64_t ops_per_client,
   EXPECT_TRUE(service.audit(&why)) << why;
 
   for (int i = 0; i < cfg.num_shards; ++i) {
-    const auto events = recorders[static_cast<std::size_t>(i)]->events();
+    history::Recorder& recorder = *recorders[static_cast<std::size_t>(i)];
+    const auto events = recorder.events();
+    // Pre-sizing drift guard: the estimator must cover what the shard
+    // actually recorded, or recording paid regrowth stalls mid-run.
+    EXPECT_LE(events.size(), recorder.reserved())
+        << "shard " << i
+        << " outgrew its reserve: estimated_shard_history_events "
+           "underestimates this configuration";
     const auto projected = project_scratch(events, scratch_base);
-    ASSERT_EQ(history::Recorder::check_well_formed(projected), "")
+    ASSERT_EQ(history::Recorder::check_well_formed(projected, /*threads=*/0),
+              "")
         << "shard " << i;
-    const auto txns = history::Recorder::transactions(projected);
+    const auto txns =
+        history::Recorder::transactions(projected, /*threads=*/0);
     EXPECT_GT(txns.size(), 1000u) << "shard " << i << " saw too few txns";
     history::MvsgOptions opts;
     opts.respect_real_time = true;
     opts.include_aborted_readers = true;
+    opts.threads = 0;  // parallel check; bit-identical to sequential
     const auto check = history::check_mvsg(txns, opts);
     EXPECT_TRUE(check.ok) << "shard " << i << ": " << check.error;
   }
@@ -150,17 +164,17 @@ void run_checked(const std::string& backend, std::uint64_t ops_per_client,
 // Boxed recipe: container traffic IS recorded (and projected away); the
 // per-shard event logs are large, so the op count stays moderate.
 TEST(SvcCheckedStress, MixedOltpOpacityOnTl2) {
-  run_checked<core::BoxedMemory>("tl2", 6'250, 1u << 21);
+  run_checked<core::BoxedMemory>("tl2", 6'250);
 }
 
 // Region recipes: container words are unrecorded, histories are compact —
 // scale the op count up instead.
 TEST(SvcCheckedStress, MixedOltpOpacityOnTl2Region) {
-  run_checked<core::RegionMemory>("tl2-region", 12'500, 1u << 20);
+  run_checked<core::RegionMemory>("tl2-region", 12'500);
 }
 
 TEST(SvcCheckedStress, MixedOltpOpacityOnNorecRegion) {
-  run_checked<core::RegionMemory>("norec-region", 12'500, 1u << 20);
+  run_checked<core::RegionMemory>("norec-region", 12'500);
 }
 
 }  // namespace

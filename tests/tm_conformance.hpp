@@ -219,7 +219,8 @@ struct CheckedStressOutcome {
 };
 
 inline CheckedStressOutcome run_checked_stress(
-    core::TransactionalMemory& tm, const workload::WorkloadConfig& config) {
+    core::TransactionalMemory& tm, const workload::WorkloadConfig& config,
+    int check_threads = 0) {
   CheckedStressOutcome out;
   history::Recorder recorder;
   recorder.reserve(workload::estimated_history_events(config));
@@ -230,12 +231,23 @@ inline CheckedStressOutcome run_checked_stress(
   // convenience methods would copy it twice.
   const auto events = recorder.events();
   out.events = events.size();
-  out.well_formed_error = history::Recorder::check_well_formed(events);
-  const auto txns = history::Recorder::transactions(events);
+  // Pre-sizing drift guard: an estimated_history_events underestimate
+  // means the event log regrew mid-run, serializing every worker behind
+  // the recorder lock. Fail loudly instead of silently costing stalls.
+  EXPECT_LE(events.size(), recorder.reserved())
+      << "recorder outgrew its reserve: estimated_history_events "
+         "underestimates this configuration";
+  // Digestion and the check both run on the parallel paths (0 = one worker
+  // per hardware thread) — results are bit-identical to sequential for
+  // every thread count, so the verdicts the tier pins are unchanged.
+  out.well_formed_error =
+      history::Recorder::check_well_formed(events, check_threads);
+  const auto txns = history::Recorder::transactions(events, check_threads);
   out.transactions = txns.size();
   history::MvsgOptions opts;
   opts.respect_real_time = true;
   opts.include_aborted_readers = true;
+  opts.threads = check_threads;
   const auto t0 = std::chrono::steady_clock::now();
   out.check = history::check_mvsg(txns, opts);
   out.check_seconds = std::chrono::duration<double>(
